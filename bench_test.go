@@ -1,0 +1,126 @@
+// Benchmarks: one per reproduced table/figure (driving the same experiment
+// code cmd/milexp uses, at a reduced run length so `go test -bench` stays
+// tractable), plus micro-benchmarks of the codec hot paths.
+package mil_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mil/internal/bitblock"
+	"mil/internal/code"
+	"mil/internal/experiments"
+	"mil/internal/sim"
+	"mil/internal/workload"
+)
+
+// benchOps keeps figure benchmarks short; the real numbers come from
+// cmd/milexp with the full budget.
+const benchOps = 150
+
+// benchFigure runs one experiment generator end to end per iteration.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	var gen experiments.Generator
+	for _, g := range experiments.Generators() {
+		if g.ID == id {
+			gen = g
+		}
+	}
+	if gen.Run == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchOps)
+		t, err := gen.Run(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B)   { benchFigure(b, "Figure 1") }
+func BenchmarkFigure2(b *testing.B)   { benchFigure(b, "Figure 2") }
+func BenchmarkFigure4(b *testing.B)   { benchFigure(b, "Figure 4") }
+func BenchmarkFigure5(b *testing.B)   { benchFigure(b, "Figure 5") }
+func BenchmarkFigure6(b *testing.B)   { benchFigure(b, "Figure 6") }
+func BenchmarkFigure7(b *testing.B)   { benchFigure(b, "Figure 7") }
+func BenchmarkTable4(b *testing.B)    { benchFigure(b, "Table 4") }
+func BenchmarkFigure16a(b *testing.B) { benchFigure(b, "Figure 16(a)") }
+func BenchmarkFigure16b(b *testing.B) { benchFigure(b, "Figure 16(b)") }
+func BenchmarkFigure17a(b *testing.B) { benchFigure(b, "Figure 17(a)") }
+func BenchmarkFigure17b(b *testing.B) { benchFigure(b, "Figure 17(b)") }
+func BenchmarkFigure18a(b *testing.B) { benchFigure(b, "Figure 18(a)") }
+func BenchmarkFigure18b(b *testing.B) { benchFigure(b, "Figure 18(b)") }
+func BenchmarkFigure19a(b *testing.B) { benchFigure(b, "Figure 19(a)") }
+func BenchmarkFigure19b(b *testing.B) { benchFigure(b, "Figure 19(b)") }
+func BenchmarkFigure20(b *testing.B)  { benchFigure(b, "Figure 20") }
+func BenchmarkFigure21(b *testing.B)  { benchFigure(b, "Figure 21") }
+func BenchmarkFigure22(b *testing.B)  { benchFigure(b, "Figure 22") }
+
+// BenchmarkSimulatorCycle measures raw simulator throughput: one full GUPS
+// MiL run per iteration.
+func BenchmarkSimulatorCycle(b *testing.B) {
+	bm, err := workload.ByName("GUPS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			System: sim.Server, Scheme: "mil", Benchmark: bm, MemOpsPerThread: benchOps,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Mem.ColumnCommands() == 0 {
+			b.Fatal("no traffic")
+		}
+	}
+}
+
+// Codec micro-benchmarks: encode/decode throughput per 64-byte block.
+
+func randomBlocks(n int) []bitblock.Block {
+	rng := rand.New(rand.NewSource(42))
+	out := make([]bitblock.Block, n)
+	for i := range out {
+		rng.Read(out[i][:])
+	}
+	return out
+}
+
+func benchEncode(b *testing.B, c code.Codec) {
+	blocks := randomBlocks(64)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bu := c.Encode(&blocks[i%len(blocks)])
+		if bu.Beats != c.Beats() {
+			b.Fatal("bad burst")
+		}
+	}
+}
+
+func benchRoundTrip(b *testing.B, c code.Codec) {
+	blocks := randomBlocks(64)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := &blocks[i%len(blocks)]
+		if got := c.Decode(c.Encode(blk)); got != *blk {
+			b.Fatal("round trip failed")
+		}
+	}
+}
+
+func BenchmarkEncodeDBI(b *testing.B)     { benchEncode(b, code.DBI{}) }
+func BenchmarkEncodeMiLC(b *testing.B)    { benchEncode(b, code.MiLC{}) }
+func BenchmarkEncodeLWC3(b *testing.B)    { benchEncode(b, code.LWC3{}) }
+func BenchmarkEncodeCAFO2(b *testing.B)   { benchEncode(b, code.NewCAFO(2)) }
+func BenchmarkEncodeCAFO4(b *testing.B)   { benchEncode(b, code.NewCAFO(4)) }
+func BenchmarkRoundTripDBI(b *testing.B)  { benchRoundTrip(b, code.DBI{}) }
+func BenchmarkRoundTripMiLC(b *testing.B) { benchRoundTrip(b, code.MiLC{}) }
+func BenchmarkRoundTripLWC3(b *testing.B) { benchRoundTrip(b, code.LWC3{}) }

@@ -1,0 +1,64 @@
+// Command milexp regenerates the paper's tables and figures and writes a
+// markdown report.
+//
+// Usage:
+//
+//	milexp [-ops 6000] [-out EXPERIMENTS.md] [-only "Figure 16"] [-q]
+//
+// Without -only, every experiment runs (a few hundred simulations; expect
+// minutes). With -only, experiments whose ID contains the given substring
+// run. Results within one invocation are shared across figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mil/internal/experiments"
+	"mil/internal/sim"
+)
+
+func main() {
+	var (
+		ops   = flag.Int64("ops", sim.DefaultMemOps, "memory operations per hardware thread")
+		out   = flag.String("out", "", "write the report to this file (default stdout)")
+		only  = flag.String("only", "", "run only experiments whose ID contains this substring")
+		quiet = flag.Bool("q", false, "suppress per-run progress on stderr")
+	)
+	flag.Parse()
+
+	r := experiments.NewRunner(*ops)
+	if !*quiet {
+		r.Progress = os.Stderr
+	}
+
+	var sb strings.Builder
+	sb.WriteString("# MiL reproduction — regenerated tables and figures\n\n")
+	fmt.Fprintf(&sb, "Per-thread memory-op budget: %d. Every number is produced by the\n", *ops)
+	sb.WriteString("simulator in this repository; see EXPERIMENTS.md for the archived run\n")
+	sb.WriteString("and the paper-vs-measured commentary.\n\n")
+	for _, g := range experiments.Generators() {
+		if *only != "" && !strings.Contains(g.ID, *only) {
+			continue
+		}
+		t, err := g.Run(r)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "milexp:", err)
+			os.Exit(1)
+		}
+		sb.WriteString(t.String())
+		sb.WriteString("\n")
+	}
+
+	if *out == "" {
+		fmt.Print(sb.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(sb.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "milexp:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "milexp: wrote %s\n", *out)
+}

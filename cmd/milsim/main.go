@@ -1,0 +1,120 @@
+// Command milsim runs one simulation configuration and prints a detailed
+// report: performance, bus statistics, zero counts, and the DRAM/system
+// energy breakdown.
+//
+// Usage:
+//
+//	milsim [-system server|mobile] [-scheme mil] [-bench GUPS] [-ops 6000] [-x 8] [-verify]
+//
+// Scheme names: baseline, milc, cafo2, cafo4, mil, lwc3, bl10-bl16, raw.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"mil/internal/sim"
+	"mil/internal/workload"
+)
+
+func main() {
+	var (
+		system = flag.String("system", "server", "platform: server (DDR4) or mobile (LPDDR3)")
+		scheme = flag.String("scheme", "mil", "coding scheme: "+strings.Join(sim.SchemeNames(), ", "))
+		bench  = flag.String("bench", "GUPS", "benchmark: "+strings.Join(workload.Names(), ", ")+", or 'all'")
+		ops    = flag.Int64("ops", sim.DefaultMemOps, "memory operations per hardware thread")
+		x      = flag.Int("x", 0, "MiL look-ahead distance override (0 = default)")
+		verify = flag.Bool("verify", false, "decode and check every burst")
+		pd     = flag.Bool("powerdown", false, "enable the fast power-down extension")
+		trace  = flag.String("trace", "", "write a DRAM command trace to this file")
+	)
+	flag.Parse()
+
+	var traceW io.Writer
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "milsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		traceW = bufio.NewWriter(f)
+		defer traceW.(*bufio.Writer).Flush()
+	}
+
+	kind := sim.Server
+	switch *system {
+	case "server":
+	case "mobile":
+		kind = sim.Mobile
+	default:
+		fmt.Fprintf(os.Stderr, "milsim: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	benches := []string{*bench}
+	if *bench == "all" {
+		benches = workload.Names()
+	}
+	for _, name := range benches {
+		b, err := workload.ByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "milsim:", err)
+			os.Exit(2)
+		}
+		r, err := sim.Run(sim.Config{
+			System: kind, Scheme: *scheme, Benchmark: b,
+			MemOpsPerThread: *ops, LookaheadX: *x, Verify: *verify,
+			PowerDown: *pd, Trace: traceW,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "milsim:", err)
+			os.Exit(1)
+		}
+		report(r)
+	}
+}
+
+func report(r *sim.Result) {
+	m := r.Mem
+	fmt.Printf("== %s / %s / %s ==\n", r.System, r.Benchmark, r.Scheme)
+	fmt.Printf("  cycles: cpu=%d dram=%d (%.3f ms)\n", r.CPUCycles, r.DRAMCycles, r.Seconds*1e3)
+	fmt.Printf("  instructions: %d (IPC %.2f)\n", r.Instructions, float64(r.Instructions)/float64(r.CPUCycles))
+	fmt.Printf("  mem: reads=%d writes=%d acts=%d refs=%d fwd=%d\n", m.Reads, m.Writes, m.Activates, m.Refreshes, m.Forwards)
+	fmt.Printf("  bus: util=%.1f%% idle-pending=%.1f%% idle-empty=%.1f%% back-to-back=%.1f%%\n",
+		100*m.BusUtilization(),
+		100*float64(m.IdlePendingCycles)/float64(m.Ticks),
+		100*float64(m.IdleEmptyCycles)/float64(m.Ticks),
+		100*float64(m.BackToBack)/float64(max64(m.GapPairs, 1)))
+	fmt.Printf("  zeros: %d (%.2f per burst) cost-units=%d\n", m.Zeros,
+		float64(m.Zeros)/float64(max64(m.ColumnCommands(), 1)), m.CostUnits)
+	if len(m.CodecBursts) > 1 {
+		var names []string
+		for k := range m.CodecBursts {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		fmt.Printf("  codecs:")
+		for _, k := range names {
+			fmt.Printf(" %s=%.1f%%", k, 100*float64(m.CodecBursts[k])/float64(m.ColumnCommands()))
+		}
+		fmt.Println()
+	}
+	d := r.DRAM
+	fmt.Printf("  dram energy: total=%.3g J  background=%.1f%% act=%.1f%% rdwr=%.1f%% ref=%.1f%% io=%.1f%% codec=%.1f%%\n",
+		d.Total(), 100*d.Background/d.Total(), 100*d.ActPre/d.Total(), 100*d.RdWr/d.Total(),
+		100*d.Refresh/d.Total(), 100*d.IO/d.Total(), 100*d.Codec/d.Total())
+	fmt.Printf("  system energy: %.3g J (dram %.1f%%)\n", r.SystemJ(), 100*d.Total()/r.SystemJ())
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

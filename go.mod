@@ -1,0 +1,3 @@
+module mil
+
+go 1.22

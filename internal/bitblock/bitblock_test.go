@@ -1,0 +1,270 @@
+package bitblock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLaneRoundTrip(t *testing.T) {
+	f := func(raw [64]byte) bool {
+		blk := Block(raw)
+		var out Block
+		for c := 0; c < Chips; c++ {
+			out.SetLane(c, blk.Lane(c))
+		}
+		return out == blk
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaneLayout(t *testing.T) {
+	var blk Block
+	for i := range blk {
+		blk[i] = byte(i)
+	}
+	// Chip 3's beat-5 byte is blk[5*8+3] = 43, in bits [40,48) of the lane.
+	lane := blk.Lane(3)
+	if got := byte(lane >> 40); got != 43 {
+		t.Fatalf("lane byte = %d, want 43", got)
+	}
+}
+
+func TestBlockCounts(t *testing.T) {
+	var blk Block
+	if blk.CountZeros() != 512 || blk.CountOnes() != 0 {
+		t.Fatalf("zero block: zeros=%d ones=%d", blk.CountZeros(), blk.CountOnes())
+	}
+	for i := range blk {
+		blk[i] = 0xff
+	}
+	if blk.CountZeros() != 0 || blk.CountOnes() != 512 {
+		t.Fatalf("ones block: zeros=%d ones=%d", blk.CountZeros(), blk.CountOnes())
+	}
+	blk[0] = 0xf0
+	if blk.CountZeros() != 4 {
+		t.Fatalf("zeros = %d, want 4", blk.CountZeros())
+	}
+}
+
+func TestFromBytesPads(t *testing.T) {
+	blk := FromBytes([]byte{1, 2, 3})
+	if blk[0] != 1 || blk[2] != 3 || blk[3] != 0 || blk[63] != 0 {
+		t.Fatalf("unexpected block %v", blk[:4])
+	}
+}
+
+func TestBitsAppendGet(t *testing.T) {
+	b := NewBits(100)
+	b.Append(0b1011, 4)
+	b.AppendBit(true)
+	b.Append(0, 3)
+	if b.Len() != 8 {
+		t.Fatalf("len = %d, want 8", b.Len())
+	}
+	// Bit 0 first: 1011 LSB-first = 1,1,0,1 then the single 1, then 000.
+	want := "11011000"
+	if got := b.String(); got != want {
+		t.Fatalf("bits = %s, want %s", got, want)
+	}
+	if b.CountOnes() != 4 || b.CountZeros() != 4 {
+		t.Fatalf("ones=%d zeros=%d", b.CountOnes(), b.CountZeros())
+	}
+}
+
+func TestBitsCrossWordExtract(t *testing.T) {
+	b := NewBits(200)
+	rng := rand.New(rand.NewSource(7))
+	var ref []bool
+	for i := 0; i < 200; i++ {
+		v := rng.Intn(2) == 1
+		b.AppendBit(v)
+		ref = append(ref, v)
+	}
+	for off := 0; off < 140; off += 7 {
+		got := b.Uint64(off, 60)
+		var want uint64
+		for i := 0; i < 60; i++ {
+			if ref[off+i] {
+				want |= 1 << i
+			}
+		}
+		if got != want {
+			t.Fatalf("Uint64(%d,60) = %x, want %x", off, got, want)
+		}
+	}
+}
+
+func TestBitsAppendCrossesWordBoundary(t *testing.T) {
+	b := NewBits(128)
+	b.Append(0, 60)
+	b.Append(0xfff, 12) // straddles the 64-bit word boundary
+	if b.Len() != 72 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	if got := b.Uint64(60, 12); got != 0xfff {
+		t.Fatalf("straddled read = %x", got)
+	}
+	if b.CountOnes() != 12 {
+		t.Fatalf("ones = %d", b.CountOnes())
+	}
+}
+
+func TestBitsSet(t *testing.T) {
+	b := NewBits(10)
+	b.Append(0, 10)
+	b.Set(3, true)
+	b.Set(9, true)
+	b.Set(3, false)
+	if b.Get(3) || !b.Get(9) || b.CountOnes() != 1 {
+		t.Fatalf("set/get mismatch: %s", b.String())
+	}
+}
+
+func TestBurstZeroCounting(t *testing.T) {
+	bu := NewBurst(9, 4)
+	// All zeros: 36 zero bit-times.
+	if got := bu.CountZeros(); got != 36 {
+		t.Fatalf("zeros = %d, want 36", got)
+	}
+	bu.SetBit(0, 0, true)
+	bu.SetBit(3, 8, true)
+	if got := bu.CountZeros(); got != 34 {
+		t.Fatalf("zeros = %d, want 34", got)
+	}
+	// Parking a pin removes its bit-times from the count.
+	bu.SetDriven(8, false)
+	if got := bu.CountZeros(); got != 31 {
+		t.Fatalf("zeros with parked pin = %d, want 31", got)
+	}
+	if bu.DrivenPins() != 8 {
+		t.Fatalf("driven pins = %d, want 8", bu.DrivenPins())
+	}
+	if bu.TotalBits() != 32 {
+		t.Fatalf("total bits = %d, want 32", bu.TotalBits())
+	}
+}
+
+func TestBurstBeatHelpers(t *testing.T) {
+	bu := NewBurst(72, 8)
+	bu.SetBeat(2, 9, 0x1a5, 9)
+	if got := bu.BeatBits(2, 9, 9); got != 0x1a5 {
+		t.Fatalf("beat bits = %x, want 1a5", got)
+	}
+	if got := bu.BeatBits(2, 0, 9); got != 0 {
+		t.Fatalf("adjacent pins disturbed: %x", got)
+	}
+}
+
+func TestBurstTransitions(t *testing.T) {
+	bu := NewBurst(2, 3)
+	// pin0: 1,0,1  pin1: 0,0,0
+	bu.SetBit(0, 0, true)
+	bu.SetBit(2, 0, true)
+	var s BusState // both pins start low
+	// pin0 toggles at beats 0,1,2 (0->1->0->1) = 3; pin1 stays low = 0.
+	if got := bu.Transitions(&s); got != 3 {
+		t.Fatalf("transitions = %d, want 3", got)
+	}
+	if !s.Pin(0) || s.Pin(1) {
+		t.Fatalf("final state wrong: pin0=%v pin1=%v", s.Pin(0), s.Pin(1))
+	}
+	// Replaying the same burst from the updated state: pin0 is high, burst
+	// starts high -> toggles at beats 1,2 only.
+	if got := bu.Transitions(&s); got != 2 {
+		t.Fatalf("second pass transitions = %d, want 2", got)
+	}
+}
+
+func TestBurstTransitionsSkipUndriven(t *testing.T) {
+	bu := NewBurst(2, 4)
+	for b := 0; b < 4; b++ {
+		bu.SetBit(b, 1, b%2 == 0)
+	}
+	bu.SetDriven(1, false)
+	var s BusState
+	if got := bu.Transitions(&s); got != 0 {
+		t.Fatalf("undriven pin produced %d transitions", got)
+	}
+}
+
+func TestBurstPanicsOnBadIndex(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bu := NewBurst(8, 2)
+	bu.Bit(2, 0)
+}
+
+func TestBurstWordOpsMatchBitOps(t *testing.T) {
+	// SetBeat/BeatBits/CountZeros use word-level fast paths; check them
+	// against the per-bit reference on widths that straddle word borders.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		width := 1 + rng.Intn(90)
+		beats := 1 + rng.Intn(16)
+		bu := NewBurst(width, beats)
+		ref := NewBurst(width, beats)
+		for n := 0; n < 20; n++ {
+			beat := rng.Intn(beats)
+			nbits := 1 + rng.Intn(64)
+			base := rng.Intn(width)
+			if base+nbits > width {
+				nbits = width - base
+			}
+			v := rng.Uint64()
+			bu.SetBeat(beat, base, v, nbits)
+			for i := 0; i < nbits; i++ {
+				ref.SetBit(beat, base+i, v>>i&1 == 1)
+			}
+		}
+		for b := 0; b < beats; b++ {
+			for p := 0; p < width; p++ {
+				if bu.Bit(b, p) != ref.Bit(b, p) {
+					t.Fatalf("trial %d: bit (%d,%d) differs", trial, b, p)
+				}
+			}
+		}
+		// Random chunk reads.
+		for n := 0; n < 20; n++ {
+			beat := rng.Intn(beats)
+			nbits := 1 + rng.Intn(64)
+			base := rng.Intn(width)
+			if base+nbits > width {
+				nbits = width - base
+			}
+			got := bu.BeatBits(beat, base, nbits)
+			var want uint64
+			for i := 0; i < nbits; i++ {
+				if ref.Bit(beat, base+i) {
+					want |= 1 << i
+				}
+			}
+			if got != want {
+				t.Fatalf("trial %d: BeatBits mismatch %x != %x", trial, got, want)
+			}
+		}
+		// Zero counting with a random undriven pin set.
+		for p := 0; p < width; p++ {
+			if rng.Intn(4) == 0 {
+				bu.SetDriven(p, false)
+				ref.SetDriven(p, false)
+			}
+		}
+		refZeros := 0
+		for b := 0; b < beats; b++ {
+			for p := 0; p < width; p++ {
+				if ref.Driven(p) && !ref.Bit(b, p) {
+					refZeros++
+				}
+			}
+		}
+		if got := bu.CountZeros(); got != refZeros {
+			t.Fatalf("trial %d: CountZeros %d != %d", trial, got, refZeros)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package bitblock
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Bits is a growable bit vector used to assemble codewords. Bit 0 is the
+// first bit appended.
+type Bits struct {
+	words []uint64
+	n     int
+}
+
+// NewBits returns a bit vector with capacity hint nbits.
+func NewBits(nbits int) *Bits {
+	return &Bits{words: make([]uint64, 0, (nbits+63)/64)}
+}
+
+// Len returns the number of bits stored.
+func (b *Bits) Len() int { return b.n }
+
+// Append adds the low nbits of v, least-significant bit first.
+func (b *Bits) Append(v uint64, nbits int) {
+	if nbits < 0 || nbits > 64 {
+		panic(fmt.Sprintf("bitblock: Append nbits %d out of range", nbits))
+	}
+	if nbits < 64 {
+		v &= (1 << nbits) - 1
+	}
+	off := b.n % 64
+	if off == 0 {
+		b.words = append(b.words, v)
+	} else {
+		b.words[len(b.words)-1] |= v << off
+		if off+nbits > 64 {
+			b.words = append(b.words, v>>(64-off))
+		}
+	}
+	b.n += nbits
+}
+
+// AppendBit adds a single bit.
+func (b *Bits) AppendBit(v bool) {
+	if v {
+		b.Append(1, 1)
+	} else {
+		b.Append(0, 1)
+	}
+}
+
+// Get returns bit i.
+func (b *Bits) Get(i int) bool {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitblock: Get(%d) out of range [0,%d)", i, b.n))
+	}
+	return b.words[i/64]>>(i%64)&1 == 1
+}
+
+// Set assigns bit i.
+func (b *Bits) Set(i int, v bool) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitblock: Set(%d) out of range [0,%d)", i, b.n))
+	}
+	if v {
+		b.words[i/64] |= 1 << (i % 64)
+	} else {
+		b.words[i/64] &^= 1 << (i % 64)
+	}
+}
+
+// Uint64 extracts nbits starting at bit offset off, least-significant bit
+// first.
+func (b *Bits) Uint64(off, nbits int) uint64 {
+	if nbits < 0 || nbits > 64 || off < 0 || off+nbits > b.n {
+		panic(fmt.Sprintf("bitblock: Uint64(%d,%d) out of range [0,%d)", off, nbits, b.n))
+	}
+	if nbits == 0 {
+		return 0
+	}
+	w, s := off/64, off%64
+	v := b.words[w] >> s
+	if s+nbits > 64 {
+		v |= b.words[w+1] << (64 - s)
+	}
+	if nbits < 64 {
+		v &= (1 << nbits) - 1
+	}
+	return v
+}
+
+// CountOnes returns the number of 1 bits.
+func (b *Bits) CountOnes() int {
+	n := 0
+	for i, w := range b.words {
+		if (i+1)*64 > b.n {
+			w &= (1 << (b.n - i*64)) - 1
+		}
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// CountZeros returns the number of 0 bits.
+func (b *Bits) CountZeros() int { return b.n - b.CountOnes() }
+
+// String renders the vector as 0s and 1s, bit 0 first (useful in tests).
+func (b *Bits) String() string {
+	var sb strings.Builder
+	for i := 0; i < b.n; i++ {
+		if b.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,62 @@
+// Package bitblock provides the bit-level data structures shared by the
+// coding schemes and the energy model: 512-bit cache blocks, the per-chip
+// lane layout of Figure 12, arbitrary-length bit vectors for codewords, and
+// bus bursts (pins x beats) with zero and transition counting.
+package bitblock
+
+import "math/bits"
+
+// BlockBytes is the size of a cache block in bytes (64B lines throughout the
+// paper's two systems).
+const BlockBytes = 64
+
+// Chips is the number of x8 DRAM chips in a rank (Figure 12(a)).
+const Chips = 8
+
+// LaneBits is the number of bits each chip contributes to a block.
+const LaneBits = 64
+
+// Block is a 512-bit cache block. Byte b*8+c is carried by chip c during
+// beat b of the burst, matching the critical-word-first layout of
+// Figure 12(a).
+type Block [BlockBytes]byte
+
+// Lane returns chip c's 64-bit slice of the block. Bit 8*b+i of the result
+// is bit i of the byte chip c transmits during beat b, so the low byte is
+// the first beat.
+func (blk *Block) Lane(c int) uint64 {
+	var v uint64
+	for b := 0; b < 8; b++ {
+		v |= uint64(blk[b*Chips+c]) << (8 * b)
+	}
+	return v
+}
+
+// SetLane stores a 64-bit chip slice back into the block, inverting Lane.
+func (blk *Block) SetLane(c int, v uint64) {
+	for b := 0; b < 8; b++ {
+		blk[b*Chips+c] = byte(v >> (8 * b))
+	}
+}
+
+// CountZeros returns the number of 0 bits in the block.
+func (blk *Block) CountZeros() int {
+	return 8*BlockBytes - blk.CountOnes()
+}
+
+// CountOnes returns the number of 1 bits in the block.
+func (blk *Block) CountOnes() int {
+	n := 0
+	for _, b := range blk {
+		n += bits.OnesCount8(b)
+	}
+	return n
+}
+
+// FromBytes builds a Block from up to 64 bytes of data; shorter inputs are
+// zero padded.
+func FromBytes(p []byte) Block {
+	var blk Block
+	copy(blk[:], p)
+	return blk
+}

@@ -1,0 +1,211 @@
+package bitblock
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Burst is the physical appearance of one data transfer on the bus: Beats
+// consecutive bit-times over Width pins. Pins that a coding scheme leaves
+// undriven are recorded in the driven mask so that they cost no IO energy
+// (an undriven POD pin parks at VDDQ, the free level).
+type Burst struct {
+	Width int // pins
+	Beats int
+	// beat b occupies bits [b*Width, (b+1)*Width) of data; pin p of beat b
+	// is bit b*Width+p.
+	data   []uint64
+	driven []uint64 // per-pin mask, 1 = pin carries data during this burst
+}
+
+// NewBurst allocates a zeroed burst. All pins start driven.
+func NewBurst(width, beats int) *Burst {
+	if width <= 0 || width > 128 || beats <= 0 {
+		panic(fmt.Sprintf("bitblock: bad burst dims %dx%d", width, beats))
+	}
+	n := width * beats
+	bu := &Burst{
+		Width:  width,
+		Beats:  beats,
+		data:   make([]uint64, (n+63)/64),
+		driven: make([]uint64, (width+63)/64),
+	}
+	for p := 0; p < width; p++ {
+		bu.driven[p/64] |= 1 << (p % 64)
+	}
+	return bu
+}
+
+// Bit returns the value on pin p during beat b.
+func (bu *Burst) Bit(beat, pin int) bool {
+	i := bu.index(beat, pin)
+	return bu.data[i/64]>>(i%64)&1 == 1
+}
+
+// SetBit assigns the value on pin p during beat b.
+func (bu *Burst) SetBit(beat, pin int, v bool) {
+	i := bu.index(beat, pin)
+	if v {
+		bu.data[i/64] |= 1 << (i % 64)
+	} else {
+		bu.data[i/64] &^= 1 << (i % 64)
+	}
+}
+
+func (bu *Burst) index(beat, pin int) int {
+	if beat < 0 || beat >= bu.Beats || pin < 0 || pin >= bu.Width {
+		panic(fmt.Sprintf("bitblock: burst index (%d,%d) out of %dx%d", beat, pin, bu.Beats, bu.Width))
+	}
+	return beat*bu.Width + pin
+}
+
+// SetBeat assigns up to 64 pins of beat b starting at pin base from the low
+// bits of v.
+func (bu *Burst) SetBeat(beat, base int, v uint64, nbits int) {
+	if nbits <= 0 {
+		return
+	}
+	if nbits > 64 {
+		panic(fmt.Sprintf("bitblock: SetBeat nbits %d", nbits))
+	}
+	_ = bu.index(beat, base+nbits-1) // bounds check once
+	if nbits < 64 {
+		v &= 1<<nbits - 1
+	}
+	i := beat*bu.Width + base
+	w, s := i/64, i%64
+	mask := uint64(1)<<s - 1
+	if s+nbits < 64 {
+		mask |= ^uint64(0) << (s + nbits)
+	}
+	bu.data[w] = bu.data[w]&mask | v<<s
+	if s+nbits > 64 {
+		rem := s + nbits - 64
+		bu.data[w+1] = bu.data[w+1]&(^uint64(0)<<rem) | v>>(64-s)
+	}
+}
+
+// BeatBits extracts nbits pins of beat b starting at pin base.
+func (bu *Burst) BeatBits(beat, base, nbits int) uint64 {
+	if nbits <= 0 {
+		return 0
+	}
+	if nbits > 64 {
+		panic(fmt.Sprintf("bitblock: BeatBits nbits %d", nbits))
+	}
+	_ = bu.index(beat, base+nbits-1)
+	i := beat*bu.Width + base
+	w, s := i/64, i%64
+	v := bu.data[w] >> s
+	if s+nbits > 64 {
+		v |= bu.data[w+1] << (64 - s)
+	}
+	if nbits < 64 {
+		v &= 1<<nbits - 1
+	}
+	return v
+}
+
+// SetDriven marks pin p as driven (true) or parked (false) for the whole
+// burst. Parked pins contribute no zeros and no transitions.
+func (bu *Burst) SetDriven(pin int, v bool) {
+	if pin < 0 || pin >= bu.Width {
+		panic(fmt.Sprintf("bitblock: pin %d out of range", pin))
+	}
+	if v {
+		bu.driven[pin/64] |= 1 << (pin % 64)
+	} else {
+		bu.driven[pin/64] &^= 1 << (pin % 64)
+	}
+}
+
+// Driven reports whether pin p carries data during this burst.
+func (bu *Burst) Driven(pin int) bool {
+	return bu.driven[pin/64]>>(pin%64)&1 == 1
+}
+
+// DrivenPins returns the number of driven pins.
+func (bu *Burst) DrivenPins() int {
+	n := 0
+	for _, w := range bu.driven {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// drivenChunk extracts the driven-mask bits for pins [base, base+n).
+func (bu *Burst) drivenChunk(base, n int) uint64 {
+	w, s := base/64, base%64
+	v := bu.driven[w] >> s
+	if s+n > 64 && w+1 < len(bu.driven) {
+		v |= bu.driven[w+1] << (64 - s)
+	}
+	if n < 64 {
+		v &= 1<<n - 1
+	}
+	return v
+}
+
+// CountZeros returns the number of 0 bit-times on driven pins, the quantity
+// the DDR4 POD IO energy is proportional to (Section 2.1.1).
+func (bu *Burst) CountZeros() int {
+	ones := 0
+	for b := 0; b < bu.Beats; b++ {
+		for base := 0; base < bu.Width; base += 64 {
+			n := bu.Width - base
+			if n > 64 {
+				n = 64
+			}
+			v := bu.BeatBits(b, base, n) & bu.drivenChunk(base, n)
+			ones += bits.OnesCount64(v)
+		}
+	}
+	return bu.Beats*bu.DrivenPins() - ones
+}
+
+// CountOnes returns the number of 1 bit-times on driven pins.
+func (bu *Burst) CountOnes() int {
+	return bu.Beats*bu.DrivenPins() - bu.CountZeros()
+}
+
+// BusState is the last value driven on each pin of a (<=128-wire) bus,
+// carried between bursts so transition counting (LPDDR3, Section 2.1.2)
+// spans burst boundaries.
+type BusState struct {
+	last [2]uint64
+}
+
+// Pin returns the current level of pin p.
+func (s *BusState) Pin(p int) bool { return s.last[p/64]>>(p%64)&1 == 1 }
+
+// SetPin forces pin p's level, used to initialize the idle bus.
+func (s *BusState) SetPin(p int, v bool) {
+	if v {
+		s.last[p/64] |= 1 << (p % 64)
+	} else {
+		s.last[p/64] &^= 1 << (p % 64)
+	}
+}
+
+// Transitions counts the wire toggles this burst causes on driven pins given
+// the bus state before the burst, and advances the state. Undriven pins hold
+// their previous level.
+func (bu *Burst) Transitions(s *BusState) int {
+	n := 0
+	for b := 0; b < bu.Beats; b++ {
+		for p := 0; p < bu.Width; p++ {
+			if !bu.Driven(p) {
+				continue
+			}
+			v := bu.Bit(b, p)
+			if v != s.Pin(p) {
+				n++
+				s.SetPin(p, v)
+			}
+		}
+	}
+	return n
+}
+
+// TotalBits returns beats x driven pins, the bus occupancy of the burst.
+func (bu *Burst) TotalBits() int { return bu.Beats * bu.DrivenPins() }

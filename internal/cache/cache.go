@@ -1,0 +1,232 @@
+// Package cache implements the on-chip memory hierarchy of Table 2:
+// per-core write-back L1 data caches kept coherent with MESI, a shared
+// inclusive multi-bank L2, MSHRs that merge outstanding misses, and the
+// stream prefetcher. It filters the cores' accesses down to the DRAM
+// traffic the MiL framework operates on.
+package cache
+
+import "fmt"
+
+// State is a MESI coherence state.
+type State uint8
+
+// MESI states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// line is one cache frame.
+type line struct {
+	tag      int64
+	state    State
+	dirty    bool
+	prefetch bool   // filled by a prefetch and not yet touched by demand
+	lru      uint64 // larger = more recently used
+}
+
+// Array is a set-associative cache array over cache-line indices, with true
+// LRU replacement. It tracks tags and states only; data content lives in
+// the memory value model.
+type Array struct {
+	sets    [][]line
+	setMask int64
+	ways    int
+	tick    uint64
+
+	Hits   int64
+	Misses int64
+}
+
+// NewArray builds an array of the given total size. sizeBytes/lineBytes
+// must be a power-of-two multiple of ways.
+func NewArray(sizeBytes, lineBytes, ways int) (*Array, error) {
+	if sizeBytes <= 0 || lineBytes <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("cache: bad dims %d/%d/%d", sizeBytes, lineBytes, ways)
+	}
+	linesTotal := sizeBytes / lineBytes
+	if linesTotal%ways != 0 {
+		return nil, fmt.Errorf("cache: %d lines not divisible by %d ways", linesTotal, ways)
+	}
+	nsets := linesTotal / ways
+	if nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("cache: %d sets not a power of two", nsets)
+	}
+	a := &Array{sets: make([][]line, nsets), setMask: int64(nsets - 1), ways: ways}
+	for i := range a.sets {
+		a.sets[i] = make([]line, ways)
+	}
+	return a, nil
+}
+
+// Ways returns the associativity.
+func (a *Array) Ways() int { return a.ways }
+
+// Sets returns the set count.
+func (a *Array) Sets() int { return len(a.sets) }
+
+func (a *Array) set(lineAddr int64) []line { return a.sets[lineAddr&a.setMask] }
+
+// Lookup finds lineAddr and touches LRU on hit. It returns the line's
+// state, or Invalid on miss.
+func (a *Array) Lookup(lineAddr int64) State {
+	set := a.set(lineAddr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			a.tick++
+			set[i].lru = a.tick
+			a.Hits++
+			return set[i].state
+		}
+	}
+	a.Misses++
+	return Invalid
+}
+
+// Peek is Lookup without LRU or statistics side effects.
+func (a *Array) Peek(lineAddr int64) State {
+	set := a.set(lineAddr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			return set[i].state
+		}
+	}
+	return Invalid
+}
+
+// SetState transitions an existing line's coherence state; it panics if the
+// line is absent (coherence bugs should be loud).
+func (a *Array) SetState(lineAddr int64, s State) {
+	set := a.set(lineAddr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			if s == Invalid {
+				set[i] = line{}
+				return
+			}
+			set[i].state = s
+			return
+		}
+	}
+	panic(fmt.Sprintf("cache: SetState(%d, %v) on absent line", lineAddr, s))
+}
+
+// Dirty reports the line's dirty bit (false if absent).
+func (a *Array) Dirty(lineAddr int64) bool {
+	set := a.set(lineAddr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			return set[i].dirty
+		}
+	}
+	return false
+}
+
+// MarkDirty sets the dirty bit; panics if the line is absent.
+func (a *Array) MarkDirty(lineAddr int64) {
+	set := a.set(lineAddr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			set[i].dirty = true
+			return
+		}
+	}
+	panic(fmt.Sprintf("cache: MarkDirty(%d) on absent line", lineAddr))
+}
+
+// SetPrefetched marks a present line as prefetch-filled.
+func (a *Array) SetPrefetched(lineAddr int64) {
+	set := a.set(lineAddr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			set[i].prefetch = true
+			return
+		}
+	}
+}
+
+// TakePrefetched clears and returns a line's prefetch mark; the first
+// demand touch of a prefetched line uses it to keep the stream running.
+func (a *Array) TakePrefetched(lineAddr int64) bool {
+	set := a.set(lineAddr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			was := set[i].prefetch
+			set[i].prefetch = false
+			return was
+		}
+	}
+	return false
+}
+
+// Victim describes a line evicted by Insert.
+type Victim struct {
+	Line  int64
+	State State
+	Dirty bool
+	Valid bool
+}
+
+// Insert places lineAddr in state s, evicting the LRU way if the set is
+// full. Inserting a line that is already present just updates its state.
+func (a *Array) Insert(lineAddr int64, s State, dirty bool) Victim {
+	set := a.set(lineAddr)
+	a.tick++
+	// Already present: refresh.
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			set[i].state = s
+			set[i].dirty = set[i].dirty || dirty
+			set[i].lru = a.tick
+			return Victim{}
+		}
+	}
+	// Free way.
+	for i := range set {
+		if set[i].state == Invalid {
+			set[i] = line{tag: lineAddr, state: s, dirty: dirty, lru: a.tick}
+			return Victim{}
+		}
+	}
+	// Evict LRU.
+	v := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lru < set[v].lru {
+			v = i
+		}
+	}
+	victim := Victim{Line: set[v].tag, State: set[v].state, Dirty: set[v].dirty, Valid: true}
+	set[v] = line{tag: lineAddr, state: s, dirty: dirty, lru: a.tick}
+	return victim
+}
+
+// Invalidate removes a line if present, returning its prior state and
+// dirty bit.
+func (a *Array) Invalidate(lineAddr int64) (State, bool) {
+	set := a.set(lineAddr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			s, d := set[i].state, set[i].dirty
+			set[i] = line{}
+			return s, d
+		}
+	}
+	return Invalid, false
+}

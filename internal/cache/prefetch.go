@@ -1,0 +1,102 @@
+package cache
+
+// PrefetchConfig parameterizes the stream prefetcher of Table 2
+// (nstreams/distance/degree). A zero Streams count disables prefetching.
+// Distance and Degree are in stride units, so strided sweeps (multigrid,
+// FFT passes) prefetch as effectively as unit-stride streams.
+type PrefetchConfig struct {
+	Streams  int
+	Distance int
+	Degree   int
+}
+
+// matchWindow is how far (in lines) a miss may land from a stream's last
+// access and still belong to it.
+const matchWindow = 64
+
+// stream is one tracked access stream with stride learning.
+type stream struct {
+	valid     bool
+	lastLine  int64
+	stride    int64 // learned delta; 0 while untrained
+	confident bool  // the stride repeated at least once
+	lru       uint64
+}
+
+// Prefetcher is a stride-learning stream prefetcher trained on demand L2
+// misses (and on first demand touches of prefetched lines, which the
+// hierarchy feeds back through the same entry point).
+type Prefetcher struct {
+	cfg     PrefetchConfig
+	streams []stream
+	tick    uint64
+
+	Trained int64 // accesses that advanced a confident stream
+	Issued  int64 // prefetch lines produced
+}
+
+// NewPrefetcher returns a prefetcher, or nil if cfg disables it.
+func NewPrefetcher(cfg PrefetchConfig) *Prefetcher {
+	if cfg.Streams <= 0 || cfg.Degree <= 0 || cfg.Distance <= 0 {
+		return nil
+	}
+	return &Prefetcher{cfg: cfg, streams: make([]stream, cfg.Streams)}
+}
+
+// OnDemandMiss trains the prefetcher with a demand-accessed line and
+// returns the lines to prefetch (possibly none).
+func (p *Prefetcher) OnDemandMiss(line int64) []int64 {
+	p.tick++
+	// Closest stream within the window.
+	best, bestDist := -1, int64(matchWindow+1)
+	for i := range p.streams {
+		s := &p.streams[i]
+		if !s.valid {
+			continue
+		}
+		d := line - s.lastLine
+		if d < 0 {
+			d = -d
+		}
+		if d != 0 && d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if best < 0 {
+		// Allocate over the LRU slot.
+		v := 0
+		for i := 1; i < len(p.streams); i++ {
+			if !p.streams[i].valid {
+				v = i
+				break
+			}
+			if p.streams[i].lru < p.streams[v].lru {
+				v = i
+			}
+		}
+		p.streams[v] = stream{valid: true, lastLine: line, lru: p.tick}
+		return nil
+	}
+
+	s := &p.streams[best]
+	delta := line - s.lastLine
+	s.lru = p.tick
+	s.lastLine = line
+	if delta != s.stride {
+		// New or changed stride: relearn before prefetching.
+		s.stride = delta
+		s.confident = false
+		return nil
+	}
+	s.confident = true
+	p.Trained++
+	out := make([]int64, 0, p.cfg.Degree)
+	for i := 0; i < p.cfg.Degree; i++ {
+		target := line + s.stride*int64(p.cfg.Distance+i)
+		if target >= 0 {
+			out = append(out, target)
+		}
+	}
+	p.Issued += int64(len(out))
+	return out
+}

@@ -1,0 +1,193 @@
+package code
+
+import (
+	"fmt"
+
+	"mil/internal/bitblock"
+)
+
+// CAFO adapts the cost-aware flip optimization of Maddah et al. (HPCA'15)
+// to the MiL framework exactly as Section 7.2 describes: two-dimensional
+// bus inversion over the same 8x8 per-chip square MiLC uses, iterating row
+// and column flip passes. Each iteration costs one DRAM cycle of encode
+// latency, so CAFO2 (one row pass + one column pass) adds 2 cycles to tCL
+// and CAFO4 adds 4. The flags use the DBI convention (flag 0 = flipped) so
+// the codeword is 64 data + 8 row flags + 8 column flags = 80 bits = burst
+// length 10 over the 8 data pins, the same bandwidth overhead as MiLC.
+type CAFO struct {
+	iters int
+}
+
+// NewCAFO returns a CAFO codec running the given number of alternating
+// row/column passes (>= 1). The paper evaluates 2 and 4.
+func NewCAFO(iters int) CAFO {
+	if iters < 1 {
+		panic(fmt.Sprintf("code: CAFO iterations %d < 1", iters))
+	}
+	return CAFO{iters: iters}
+}
+
+// Name implements Codec.
+func (c CAFO) Name() string { return fmt.Sprintf("cafo%d", c.iters) }
+
+// Beats implements Codec.
+func (CAFO) Beats() int { return 10 }
+
+// ExtraLatency implements Codec.
+func (c CAFO) ExtraLatency() int { return c.iters }
+
+// Iterations returns the configured pass count.
+func (c CAFO) Iterations() int { return c.iters }
+
+// cafoLane holds the encoder state for one 8x8 square.
+type cafoLane struct {
+	data    [8]byte // original rows
+	rowFlip [8]bool
+	colFlip [8]bool
+}
+
+// wireRow returns row r after the current flips.
+func (l *cafoLane) wireRow(r int) byte {
+	w := l.data[r]
+	if l.rowFlip[r] {
+		w = ^w
+	}
+	var colMask byte
+	for j := 0; j < 8; j++ {
+		if l.colFlip[j] {
+			colMask |= 1 << j
+		}
+	}
+	return w ^ colMask
+}
+
+// rowPass greedily picks each row's flip to minimize that row's zeros plus
+// the flag bit's own zero cost. Returns true if any flip changed.
+func (l *cafoLane) rowPass() bool {
+	changed := false
+	for r := 0; r < 8; r++ {
+		keep := l.rowFlip[r]
+
+		l.rowFlip[r] = false
+		costOff := zeros8(l.wireRow(r)) // flag transmitted as 1: free
+
+		l.rowFlip[r] = true
+		costOn := zeros8(l.wireRow(r)) + 1 // flag transmitted as 0
+
+		best := costOn < costOff
+		l.rowFlip[r] = best
+		if best != keep {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// wireColZeros counts zeros in column j under the current flips.
+func (l *cafoLane) wireColZeros(j int) int {
+	n := 0
+	for r := 0; r < 8; r++ {
+		if l.wireRow(r)>>j&1 == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// colPass is rowPass transposed.
+func (l *cafoLane) colPass() bool {
+	changed := false
+	for j := 0; j < 8; j++ {
+		keep := l.colFlip[j]
+
+		l.colFlip[j] = false
+		costOff := l.wireColZeros(j)
+
+		l.colFlip[j] = true
+		costOn := l.wireColZeros(j) + 1
+
+		best := costOn < costOff
+		l.colFlip[j] = best
+		if best != keep {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// cafoEncodeLane runs the alternating passes and serializes the 80-bit
+// codeword: 8 wire rows, then 8 row flags, then 8 column flags, each flag
+// transmitted as 1 when no flip was applied.
+func cafoEncodeLane(lane uint64, iters int) *bitblock.Bits {
+	var l cafoLane
+	for r := 0; r < 8; r++ {
+		l.data[r] = byte(lane >> (8 * r))
+	}
+	for it := 0; it < iters; it++ {
+		var changed bool
+		if it%2 == 0 {
+			changed = l.rowPass()
+		} else {
+			changed = l.colPass()
+		}
+		if !changed && it > 0 {
+			break // converged early; remaining iterations are no-ops
+		}
+	}
+	out := bitblock.NewBits(80)
+	for r := 0; r < 8; r++ {
+		out.Append(uint64(l.wireRow(r)), 8)
+	}
+	for r := 0; r < 8; r++ {
+		out.AppendBit(!l.rowFlip[r])
+	}
+	for j := 0; j < 8; j++ {
+		out.AppendBit(!l.colFlip[j])
+	}
+	return out
+}
+
+// cafoDecodeLane inverts cafoEncodeLane.
+func cafoDecodeLane(cw *bitblock.Bits) uint64 {
+	var colMask byte
+	for j := 0; j < 8; j++ {
+		if !cw.Get(72 + j) {
+			colMask |= 1 << j
+		}
+	}
+	var lane uint64
+	for r := 0; r < 8; r++ {
+		w := byte(cw.Uint64(r*8, 8)) ^ colMask
+		if !cw.Get(64 + r) {
+			w = ^w
+		}
+		lane |= uint64(w) << (8 * r)
+	}
+	return lane
+}
+
+// Encode implements Codec.
+func (c CAFO) Encode(blk *bitblock.Block) *bitblock.Burst {
+	bu := bitblock.NewBurst(BusWidth, 10)
+	parkDBIPins(bu)
+	for ch := 0; ch < bitblock.Chips; ch++ {
+		cw := cafoEncodeLane(blk.Lane(ch), c.iters)
+		for beat := 0; beat < 10; beat++ {
+			bu.SetBeat(beat, chipDataPin(ch, 0), cw.Uint64(beat*8, 8), 8)
+		}
+	}
+	return bu
+}
+
+// Decode implements Codec.
+func (CAFO) Decode(bu *bitblock.Burst) bitblock.Block {
+	var blk bitblock.Block
+	for ch := 0; ch < bitblock.Chips; ch++ {
+		cw := bitblock.NewBits(80)
+		for beat := 0; beat < 10; beat++ {
+			cw.Append(bu.BeatBits(beat, chipDataPin(ch, 0), 8), 8)
+		}
+		blk.SetLane(ch, cafoDecodeLane(cw))
+	}
+	return blk
+}

@@ -1,0 +1,89 @@
+// Package code implements every coding scheme the paper uses or compares
+// against: DBI (the DDR4 baseline), BI (the LPDDR3 baseline), the improved
+// 3-LWC of Section 5.2.2, MiLC (Section 4.3.2), CAFO (the HPCA'15
+// comparison point, Section 7.2), transition signaling (Sections 2.1.2 and
+// 5.3), and the optimal static (8,k) limited-weight codes of the potential
+// study in Figure 7.
+//
+// All codecs operate on 512-bit cache blocks laid out over a rank of eight
+// x8 chips per Figure 12: chip c owns pins [9c, 9c+8), eight data pins plus
+// the chip's DBI pin. Codecs that do not use the DBI pins park them
+// (undriven pins cost no IO energy).
+package code
+
+import (
+	"fmt"
+
+	"mil/internal/bitblock"
+)
+
+// BusWidth is the number of wires in the modeled data bus: 8 chips x
+// (8 data + 1 DBI) pins.
+const BusWidth = bitblock.Chips * PinsPerChip
+
+// PinsPerChip is the per-chip pin budget (8 data + 1 DBI).
+const PinsPerChip = 9
+
+// DataPinsPerChip is the number of data pins per x8 chip.
+const DataPinsPerChip = 8
+
+// Codec encodes 512-bit blocks into bus bursts in the "zero domain": fewer
+// zeros in the produced burst means less IO energy on a VDDQ-terminated
+// (POD) interface, and - after transition signaling - fewer wire toggles on
+// an unterminated interface.
+type Codec interface {
+	// Name identifies the scheme ("dbi", "milc", "lwc3", "cafo2", ...).
+	Name() string
+	// Beats is the burst length the scheme needs on the bus (BL in beats).
+	Beats() int
+	// ExtraLatency is the number of DRAM cycles the codec adds to tCL
+	// (Section 4.4 / Table 4: one cycle for MiLC and 3-LWC, one per
+	// iteration for CAFO, none for plain DBI).
+	ExtraLatency() int
+	// Encode produces the burst that appears on the bus for blk.
+	Encode(blk *bitblock.Block) *bitblock.Burst
+	// Decode recovers the original block from a burst produced by Encode.
+	Decode(bu *bitblock.Burst) bitblock.Block
+}
+
+// chipDataPin returns the global pin index of data pin i of chip c.
+func chipDataPin(c, i int) int { return c*PinsPerChip + i }
+
+// chipDBIPin returns the global pin index of chip c's DBI pin.
+func chipDBIPin(c int) int { return c*PinsPerChip + DataPinsPerChip }
+
+// parkDBIPins marks every chip's DBI pin undriven for schemes that do not
+// use it (MiLC, CAFO, raw data).
+func parkDBIPins(bu *bitblock.Burst) {
+	for c := 0; c < bitblock.Chips; c++ {
+		bu.SetDriven(chipDBIPin(c), false)
+	}
+}
+
+// ByName constructs a codec from its registry name. CAFO accepts any
+// iteration count via "cafoN". It returns an error for unknown names.
+func ByName(name string) (Codec, error) {
+	switch name {
+	case "raw":
+		return Raw{}, nil
+	case "dbi":
+		return DBI{}, nil
+	case "milc":
+		return MiLC{}, nil
+	case "lwc3":
+		return LWC3{}, nil
+	case "hybrid":
+		return Hybrid{}, nil
+	}
+	var iters int
+	if n, err := fmt.Sscanf(name, "cafo%d", &iters); n == 1 && err == nil && iters > 0 {
+		return NewCAFO(iters), nil
+	}
+	return nil, fmt.Errorf("code: unknown codec %q", name)
+}
+
+// Names lists the registry names ByName accepts (CAFO shown for the two
+// iteration counts the paper evaluates).
+func Names() []string {
+	return []string{"raw", "dbi", "milc", "lwc3", "hybrid", "cafo2", "cafo4"}
+}

@@ -1,0 +1,102 @@
+package code
+
+import (
+	"math/bits"
+
+	"mil/internal/bitblock"
+)
+
+// Raw transmits the block unmodified over the 64 data pins at burst length
+// 8, with the DBI pins parked. It is the normalization point of the
+// potential study in Figure 7 ("the number of zeroes observed on the
+// original data").
+type Raw struct{}
+
+// Name implements Codec.
+func (Raw) Name() string { return "raw" }
+
+// Beats implements Codec.
+func (Raw) Beats() int { return 8 }
+
+// ExtraLatency implements Codec.
+func (Raw) ExtraLatency() int { return 0 }
+
+// Encode implements Codec.
+func (Raw) Encode(blk *bitblock.Block) *bitblock.Burst {
+	bu := bitblock.NewBurst(BusWidth, 8)
+	parkDBIPins(bu)
+	for beat := 0; beat < 8; beat++ {
+		for c := 0; c < bitblock.Chips; c++ {
+			bu.SetBeat(beat, chipDataPin(c, 0), uint64(blk[beat*bitblock.Chips+c]), 8)
+		}
+	}
+	return bu
+}
+
+// Decode implements Codec.
+func (Raw) Decode(bu *bitblock.Burst) bitblock.Block {
+	var blk bitblock.Block
+	for beat := 0; beat < 8; beat++ {
+		for c := 0; c < bitblock.Chips; c++ {
+			blk[beat*bitblock.Chips+c] = byte(bu.BeatBits(beat, chipDataPin(c, 0), 8))
+		}
+	}
+	return blk
+}
+
+// DBI is the data bus inversion code DDR4 natively supports (Section
+// 2.1.1): per byte, if more than four bits are 0 the ones' complement is
+// sent with the DBI bit low (0); otherwise the original byte is sent with
+// the DBI bit high (1). Every 9-bit group therefore carries at most four
+// zeros. This is the baseline every evaluation figure normalizes to.
+type DBI struct{}
+
+// Name implements Codec.
+func (DBI) Name() string { return "dbi" }
+
+// Beats implements Codec.
+func (DBI) Beats() int { return 8 }
+
+// ExtraLatency implements Codec.
+func (DBI) ExtraLatency() int { return 0 }
+
+// dbiEncodeByte returns the wire byte and DBI bit for one data byte.
+func dbiEncodeByte(b byte) (wire byte, dbiBit bool) {
+	if zeros := 8 - bits.OnesCount8(b); zeros > 4 {
+		return ^b, false
+	}
+	return b, true
+}
+
+// dbiDecodeByte inverts dbiEncodeByte.
+func dbiDecodeByte(wire byte, dbiBit bool) byte {
+	if !dbiBit {
+		return ^wire
+	}
+	return wire
+}
+
+// Encode implements Codec.
+func (DBI) Encode(blk *bitblock.Block) *bitblock.Burst {
+	bu := bitblock.NewBurst(BusWidth, 8)
+	for beat := 0; beat < 8; beat++ {
+		for c := 0; c < bitblock.Chips; c++ {
+			wire, dbiBit := dbiEncodeByte(blk[beat*bitblock.Chips+c])
+			bu.SetBeat(beat, chipDataPin(c, 0), uint64(wire), 8)
+			bu.SetBit(beat, chipDBIPin(c), dbiBit)
+		}
+	}
+	return bu
+}
+
+// Decode implements Codec.
+func (DBI) Decode(bu *bitblock.Burst) bitblock.Block {
+	var blk bitblock.Block
+	for beat := 0; beat < 8; beat++ {
+		for c := 0; c < bitblock.Chips; c++ {
+			wire := byte(bu.BeatBits(beat, chipDataPin(c, 0), 8))
+			blk[beat*bitblock.Chips+c] = dbiDecodeByte(wire, bu.Bit(beat, chipDBIPin(c)))
+		}
+	}
+	return blk
+}

@@ -1,0 +1,135 @@
+package code
+
+import "mil/internal/bitblock"
+
+// Hybrid is the intermediate-length sparse code Section 7.5.3 calls for:
+// the data-intensive benchmarks cannot afford 3-LWC's BL16 but waste the
+// gap between BL10 and BL16 when only MiLC is available. Hybrid splits each
+// chip's 8x8 square in half: the first four rows are MiLC-coded as a 4-row
+// group (10 bits per row) and the last four bytes are 3-LWC-coded (17 bits
+// each), giving 4x10 + 4x17 = 108 bits per lane, padded high to 112 = burst
+// length 14 over the chip's data pins. It compresses zero-heavy bytes with
+// the hard 3-LWC bound while keeping correlated rows on the cheap MiLC
+// path, at 2 beats less than full 3-LWC.
+type Hybrid struct{}
+
+// Name implements Codec.
+func (Hybrid) Name() string { return "hybrid" }
+
+// Beats implements Codec.
+func (Hybrid) Beats() int { return 14 }
+
+// ExtraLatency implements Codec.
+func (Hybrid) ExtraLatency() int { return 1 }
+
+// hybridLaneBits is the padded per-lane payload: 14 beats x 8 pins.
+const hybridLaneBits = 112
+
+// hybridEncodeLane maps one 64-bit lane to its 112-bit codeword.
+func hybridEncodeLane(lane uint64) *bitblock.Bits {
+	out := bitblock.NewBits(hybridLaneBits)
+
+	// Rows 0-3: a 4-row MiLC group. Row 0 carries the xorbi bit for the
+	// three XOR-mode bits of rows 1-3.
+	var rows [4]milcRow
+	r0 := byte(lane)
+	if zeros8(r0) > 4 {
+		rows[0] = milcRow{wire: ^r0, inv: false}
+	} else {
+		rows[0] = milcRow{wire: r0, inv: true}
+	}
+	prev := r0
+	for r := 1; r < 4; r++ {
+		cur := byte(lane >> (8 * r))
+		rows[r] = encodeMilcRow(cur, prev)
+		prev = cur
+	}
+	xorZeros := 0
+	for r := 1; r < 4; r++ {
+		xorZeros += boolBitZero(rows[r].xor)
+	}
+	// Invert the 3-bit column when it carries 2+ zeros (cost 3-z+1 < z).
+	invertColumn := xorZeros >= 2
+	xorbi := !invertColumn
+	for r := 0; r < 4; r++ {
+		out.Append(uint64(rows[r].wire), 8)
+		if r == 0 {
+			out.AppendBit(xorbi)
+		} else {
+			x := rows[r].xor
+			if invertColumn {
+				x = !x
+			}
+			out.AppendBit(x)
+		}
+		out.AppendBit(rows[r].inv)
+	}
+
+	// Bytes 4-7: 3-LWC words, transmitted inverted (<= 3 zeros each).
+	for r := 4; r < 8; r++ {
+		w := lwcEncodeByte(byte(lane >> (8 * r)))
+		out.Append(uint64(^w)&0x1ffff, lwcWordBits)
+	}
+	out.Append(0xf, 4) // pad high
+	return out
+}
+
+// hybridDecodeLane inverts hybridEncodeLane.
+func hybridDecodeLane(cw *bitblock.Bits) uint64 {
+	var lane uint64
+	xorbi := cw.Get(8)
+	invertColumn := !xorbi
+	var prev byte
+	for r := 0; r < 4; r++ {
+		wire := byte(cw.Uint64(r*10, 8))
+		if !cw.Get(r*10 + 9) {
+			wire = ^wire
+		}
+		if r > 0 {
+			x := cw.Get(r*10 + 8)
+			if invertColumn {
+				x = !x
+			}
+			if x {
+				wire ^= prev
+			}
+		}
+		lane |= uint64(wire) << (8 * r)
+		prev = wire
+	}
+	for r := 4; r < 8; r++ {
+		w := uint32(^cw.Uint64(40+(r-4)*lwcWordBits, lwcWordBits)) & 0x1ffff
+		d, err := lwcDecodeWord(w)
+		if err != nil {
+			panic(err)
+		}
+		lane |= uint64(d) << (8 * r)
+	}
+	return lane
+}
+
+// Encode implements Codec.
+func (Hybrid) Encode(blk *bitblock.Block) *bitblock.Burst {
+	bu := bitblock.NewBurst(BusWidth, 14)
+	parkDBIPins(bu)
+	for c := 0; c < bitblock.Chips; c++ {
+		cw := hybridEncodeLane(blk.Lane(c))
+		for beat := 0; beat < 14; beat++ {
+			bu.SetBeat(beat, chipDataPin(c, 0), cw.Uint64(beat*8, 8), 8)
+		}
+	}
+	return bu
+}
+
+// Decode implements Codec.
+func (Hybrid) Decode(bu *bitblock.Burst) bitblock.Block {
+	var blk bitblock.Block
+	for c := 0; c < bitblock.Chips; c++ {
+		cw := bitblock.NewBits(hybridLaneBits)
+		for beat := 0; beat < 14; beat++ {
+			cw.Append(bu.BeatBits(beat, chipDataPin(c, 0), 8), 8)
+		}
+		blk.SetLane(c, hybridDecodeLane(cw))
+	}
+	return blk
+}

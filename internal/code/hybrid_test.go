@@ -1,0 +1,65 @@
+package code
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mil/internal/bitblock"
+)
+
+func TestHybridRoundTrip(t *testing.T) {
+	f := func(raw [64]byte) bool {
+		blk := bitblock.Block(raw)
+		out := Hybrid{}.Decode(Hybrid{}.Encode(&blk))
+		return out == blk
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridLaneRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for n := 0; n < 5000; n++ {
+		lane := rng.Uint64()
+		if got := hybridDecodeLane(hybridEncodeLane(lane)); got != lane {
+			t.Fatalf("lane %016x decoded to %016x", lane, got)
+		}
+	}
+}
+
+func TestHybridSitsBetweenMiLCAndLWC3(t *testing.T) {
+	// On zero-heavy data (3-LWC's strength) the hybrid's zeros must land
+	// between MiLC's and 3-LWC's, and its burst length strictly between.
+	var blk bitblock.Block // lots of 0x00 bytes
+	for i := 0; i < 16; i++ {
+		blk[i] = byte(i)
+	}
+	milcZ := MiLC{}.Encode(&blk).CountZeros()
+	hybZ := Hybrid{}.Encode(&blk).CountZeros()
+	lwcZ := LWC3{}.Encode(&blk).CountZeros()
+	if !(lwcZ <= hybZ && hybZ <= milcZ) {
+		t.Fatalf("zeros not ordered: lwc3=%d hybrid=%d milc=%d", lwcZ, hybZ, milcZ)
+	}
+	if h := (Hybrid{}).Beats(); h <= (MiLC{}).Beats() || h >= (LWC3{}).Beats() {
+		t.Fatalf("hybrid beats %d not intermediate", h)
+	}
+}
+
+func TestHybridPadBitsHigh(t *testing.T) {
+	var blk bitblock.Block
+	cw := hybridEncodeLane(blk.Lane(0))
+	for i := hybridLaneBits - 4; i < hybridLaneBits; i++ {
+		if !cw.Get(i) {
+			t.Fatalf("pad bit %d low", i)
+		}
+	}
+}
+
+func TestHybridByName(t *testing.T) {
+	c, err := ByName("hybrid")
+	if err != nil || c.Name() != "hybrid" {
+		t.Fatalf("ByName(hybrid) = %v, %v", c, err)
+	}
+}

@@ -1,0 +1,176 @@
+package code
+
+import (
+	"math/bits"
+
+	"mil/internal/bitblock"
+)
+
+// MiLC is the "More is Less Code" of Section 4.3.2 (Figures 10 and 14).
+// Each chip's 64-bit slice is laid out as an 8x8 square (row r = the byte
+// the chip transmits during beat r). Every row is encoded with the best of
+// four candidates - original, inverted, XORed with the previous original
+// row, or inverted-and-XORed - selected to minimize the number of zeros,
+// including the zeros the two mode bits themselves contribute (the
+// "additional constant" of Figure 14). The XOR candidates exploit spatial
+// correlation between adjacent rows. The first row has no predecessor; its
+// XOR-mode slot instead carries the xorbi bit, which bus-inverts the other
+// seven XOR mode bits in the column when that reduces zeros.
+//
+// The code maps 64 bits to 80 (8 rows x [8 data + xor + invert]), i.e.
+// burst length 10 over the chip's 8 data pins; the DBI pins are parked.
+type MiLC struct{}
+
+// Name implements Codec.
+func (MiLC) Name() string { return "milc" }
+
+// Beats implements Codec.
+func (MiLC) Beats() int { return 10 }
+
+// ExtraLatency implements Codec.
+func (MiLC) ExtraLatency() int { return 1 }
+
+// milcRow is one encoded row: the 8 wire bits plus its two mode bits.
+type milcRow struct {
+	wire byte
+	xor  bool // raw XOR choice: true = row was XORed with the previous row
+	inv  bool // DBI-convention invert bit: false = row transmitted inverted
+}
+
+// zeros8 counts zero bits in a byte.
+func zeros8(b byte) int { return 8 - bits.OnesCount8(b) }
+
+// boolBitZero returns the zero-count contribution of transmitting b as one
+// bit (1 if b is false).
+func boolBitZero(b bool) int {
+	if b {
+		return 0
+	}
+	return 1
+}
+
+// encodeMilcRow picks the cheapest of the four candidates for row cur given
+// the previous original row. The xor mode bit is transmitted as 1 when the
+// XOR was applied and the invert bit follows the DBI convention (0 =
+// inverted), so the per-candidate cost adds the zeros of the mode bits.
+func encodeMilcRow(cur, prev byte) milcRow {
+	best := milcRow{}
+	bestCost := 1 << 30
+	for _, xor := range []bool{false, true} {
+		for _, invert := range []bool{false, true} {
+			wire := cur
+			if xor {
+				wire ^= prev
+			}
+			if invert {
+				wire = ^wire
+			}
+			invBit := !invert
+			cost := zeros8(wire) + boolBitZero(xor) + boolBitZero(invBit)
+			if cost < bestCost {
+				bestCost = cost
+				best = milcRow{wire: wire, xor: xor, inv: invBit}
+			}
+		}
+	}
+	return best
+}
+
+// milcEncodeLane maps a 64-bit lane to its 80-bit codeword, returned as a
+// bit vector laid out row-major: row r occupies bits [10r, 10r+10) as
+// [8 data][xor slot][invert bit]. Row 0's xor slot is the xorbi bit.
+func milcEncodeLane(lane uint64) *bitblock.Bits {
+	var rows [8]milcRow
+
+	// Row 0: no predecessor, only the invert choice.
+	r0 := byte(lane)
+	if zeros8(r0) > 4 {
+		rows[0] = milcRow{wire: ^r0, inv: false}
+	} else {
+		rows[0] = milcRow{wire: r0, inv: true}
+	}
+	prev := byte(lane)
+	for r := 1; r < 8; r++ {
+		cur := byte(lane >> (8 * r))
+		rows[r] = encodeMilcRow(cur, prev)
+		prev = cur
+	}
+
+	// xorbi: bus-invert the seven XOR mode bits when they carry too many
+	// zeros. DBI convention: xorbi = 0 means the column was inverted.
+	xorZeros := 0
+	for r := 1; r < 8; r++ {
+		xorZeros += boolBitZero(rows[r].xor)
+	}
+	invertColumn := xorZeros >= 5 // invert costs (7-xorZeros)+1, keep costs xorZeros
+	xorbi := !invertColumn
+
+	out := bitblock.NewBits(80)
+	for r := 0; r < 8; r++ {
+		out.Append(uint64(rows[r].wire), 8)
+		if r == 0 {
+			out.AppendBit(xorbi)
+		} else {
+			x := rows[r].xor
+			if invertColumn {
+				x = !x
+			}
+			out.AppendBit(x)
+		}
+		out.AppendBit(rows[r].inv)
+	}
+	return out
+}
+
+// milcDecodeLane inverts milcEncodeLane.
+func milcDecodeLane(cw *bitblock.Bits) uint64 {
+	xorbi := cw.Get(8)
+	invertColumn := !xorbi
+	var lane uint64
+	var prev byte
+	for r := 0; r < 8; r++ {
+		wire := byte(cw.Uint64(r*10, 8))
+		invBit := cw.Get(r*10 + 9)
+		if !invBit {
+			wire = ^wire
+		}
+		if r > 0 {
+			x := cw.Get(r*10 + 8)
+			if invertColumn {
+				x = !x
+			}
+			if x {
+				wire ^= prev
+			}
+		}
+		lane |= uint64(wire) << (8 * r)
+		prev = wire
+	}
+	return lane
+}
+
+// Encode implements Codec.
+func (MiLC) Encode(blk *bitblock.Block) *bitblock.Burst {
+	bu := bitblock.NewBurst(BusWidth, 10)
+	parkDBIPins(bu)
+	for c := 0; c < bitblock.Chips; c++ {
+		cw := milcEncodeLane(blk.Lane(c))
+		for beat := 0; beat < 10; beat++ {
+			bu.SetBeat(beat, chipDataPin(c, 0), cw.Uint64(beat*8, 8), 8)
+		}
+	}
+	return bu
+}
+
+// Decode implements Codec.
+func (MiLC) Decode(bu *bitblock.Burst) bitblock.Block {
+	var blk bitblock.Block
+	for c := 0; c < bitblock.Chips; c++ {
+		cw := bitblock.NewBits(80)
+		for beat := 0; beat < 10; beat++ {
+			cw.Append(bu.BeatBits(beat, chipDataPin(c, 0), 8), 8)
+		}
+		blk.SetLane(c, milcDecodeLane(cw))
+	}
+	return blk
+}

@@ -1,0 +1,130 @@
+package code
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// StaticLWC is an optimal static (8,k) limited-weight code as used in the
+// potential study of Section 3.2 / Figure 7: each of the 256 byte patterns
+// is mapped to a unique k-bit codeword, chosen so that - weighted by the
+// observed frequency of each byte pattern - the transmitted number of zeros
+// is minimized. The construction picks the 256 k-bit words with the fewest
+// zeros and assigns the zero-cheapest words to the most frequent bytes.
+//
+// These codes establish how much headroom exists beyond DBI; their codecs
+// are table lookups (the paper deems them impractical to implement
+// algorithmically, which is why MiL adopts MiLC/3-LWC instead), so they are
+// not offered on the timing path.
+type StaticLWC struct {
+	k      int
+	enc    [256]uint32
+	dec    map[uint32]byte
+	maxZer int
+}
+
+// NewStaticLWC builds the optimal (8,k) code for the byte-pattern frequency
+// histogram freq (counts; an all-zero histogram is treated as uniform).
+// k must be in [8, 24].
+func NewStaticLWC(k int, freq *[256]uint64) (*StaticLWC, error) {
+	if k < 8 || k > 24 {
+		return nil, fmt.Errorf("code: static LWC width %d outside [8,24]", k)
+	}
+	// The 256 best codewords are those with the most ones. Enumerate by
+	// descending popcount; ties broken by value for determinism.
+	words := make([]uint32, 0, 256)
+	for ones := k; ones >= 0 && len(words) < 256; ones-- {
+		var tier []uint32
+		for w := uint32(0); w < 1<<k; w++ {
+			if bits.OnesCount32(w) == ones {
+				tier = append(tier, w)
+			}
+		}
+		sort.Slice(tier, func(i, j int) bool { return tier[i] < tier[j] })
+		for _, w := range tier {
+			if len(words) == 256 {
+				break
+			}
+			words = append(words, w)
+		}
+	}
+
+	// Bytes by descending frequency; ties broken by value.
+	order := make([]int, 256)
+	for i := range order {
+		order[i] = i
+	}
+	uniform := true
+	for _, f := range freq {
+		if f != 0 {
+			uniform = false
+			break
+		}
+	}
+	if !uniform {
+		sort.SliceStable(order, func(i, j int) bool { return freq[order[i]] > freq[order[j]] })
+	}
+
+	c := &StaticLWC{k: k, dec: make(map[uint32]byte, 256)}
+	for rank, b := range order {
+		w := words[rank]
+		c.enc[b] = w
+		c.dec[w] = byte(b)
+		if z := k - bits.OnesCount32(w); z > c.maxZer {
+			c.maxZer = z
+		}
+	}
+	return c, nil
+}
+
+// K returns the codeword width.
+func (c *StaticLWC) K() int { return c.k }
+
+// MaxZeros returns the largest number of zeros any assigned codeword
+// carries (the effective weight limit of the code).
+func (c *StaticLWC) MaxZeros() int { return c.maxZer }
+
+// EncodeByte returns the k-bit codeword for b.
+func (c *StaticLWC) EncodeByte(b byte) uint32 { return c.enc[b] }
+
+// DecodeWord returns the byte a codeword stands for.
+func (c *StaticLWC) DecodeWord(w uint32) (byte, bool) {
+	b, ok := c.dec[w]
+	return b, ok
+}
+
+// WeightedZeros returns the total transmitted zeros for the histogram freq
+// under this code; used to produce Figure 7's series.
+func (c *StaticLWC) WeightedZeros(freq *[256]uint64) uint64 {
+	var total uint64
+	for b, f := range freq {
+		total += f * uint64(c.k-bits.OnesCount32(c.enc[b]))
+	}
+	return total
+}
+
+// RawZeros returns the total zeros of the uncoded bytes for freq, the
+// normalization denominator of Figure 7.
+func RawZeros(freq *[256]uint64) uint64 {
+	var total uint64
+	for b, f := range freq {
+		total += f * uint64(8-bits.OnesCount8(byte(b)))
+	}
+	return total
+}
+
+// DBIZeros returns the total transmitted zeros (9 wires per byte) under
+// DBI for freq, Figure 7's "DBI" series.
+func DBIZeros(freq *[256]uint64) uint64 {
+	var total uint64
+	for b, f := range freq {
+		wire, bit := dbiEncodeByte(byte(b))
+		z := uint64(8 - bits.OnesCount8(wire))
+		if !bit {
+			z++
+		}
+		total += f * z
+	}
+	return total
+}

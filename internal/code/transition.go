@@ -1,0 +1,137 @@
+package code
+
+import "mil/internal/bitblock"
+
+// Transition signaling (Sections 2.1.2, 4.5, 5.3, Figure 15) converts the
+// energy problem of an unterminated interface (energy per wire toggle) into
+// the terminated interface's problem (energy per transmitted symbol): the
+// wire toggles exactly when the logical bit takes the costly value, and
+// holds its level otherwise. MiL on LPDDR3 uses the flip-on-zero polarity so
+// the zero-minimizing codecs above carry over unchanged: the number of wire
+// toggles equals the number of zeros in the coded burst.
+
+// SignalTransitions converts a logical coded burst into the physical wire
+// levels under flip-on-zero transition signaling, starting from the given
+// bus state; it advances the state to the wire levels after the burst and
+// returns the physical burst. Undriven pins hold their level.
+func SignalTransitions(bu *bitblock.Burst, s *bitblock.BusState) *bitblock.Burst {
+	wire := bitblock.NewBurst(bu.Width, bu.Beats)
+	for p := 0; p < bu.Width; p++ {
+		wire.SetDriven(p, bu.Driven(p))
+	}
+	for beat := 0; beat < bu.Beats; beat++ {
+		for p := 0; p < bu.Width; p++ {
+			if !bu.Driven(p) {
+				continue
+			}
+			level := s.Pin(p)
+			if !bu.Bit(beat, p) { // logical 0: toggle the wire
+				level = !level
+				s.SetPin(p, level)
+			}
+			wire.SetBit(beat, p, level)
+		}
+	}
+	return wire
+}
+
+// RecoverTransitions is the receiver side of SignalTransitions: it
+// reconstructs the logical burst from wire levels, starting from the same
+// initial bus state, and advances the state.
+func RecoverTransitions(wire *bitblock.Burst, s *bitblock.BusState) *bitblock.Burst {
+	bu := bitblock.NewBurst(wire.Width, wire.Beats)
+	for p := 0; p < wire.Width; p++ {
+		bu.SetDriven(p, wire.Driven(p))
+	}
+	for beat := 0; beat < wire.Beats; beat++ {
+		for p := 0; p < wire.Width; p++ {
+			if !wire.Driven(p) {
+				continue
+			}
+			level := wire.Bit(beat, p)
+			bu.SetBit(beat, p, level == s.Pin(p)) // no toggle = logical 1
+			s.SetPin(p, level)
+		}
+	}
+	return bu
+}
+
+// BusInvert is the classic bus-invert code (Stan & Burleson 1995) applied
+// directly to the unterminated LPDDR3 interface, the baseline of Section
+// 2.1.2: per 8-pin group and beat, if transmitting the byte as-is would
+// toggle more than four of the nine wires (eight data + the BI wire), the
+// inverted byte is sent and the BI wire is raised. Encoding is stateful
+// because the toggle count depends on the previous wire levels.
+type BusInvert struct{}
+
+// Name identifies the scheme.
+func (BusInvert) Name() string { return "bi" }
+
+// Beats is the burst length (same as the raw data, 8).
+func (BusInvert) Beats() int { return 8 }
+
+// ExtraLatency is zero: BI is the native-latency baseline.
+func (BusInvert) ExtraLatency() int { return 0 }
+
+// EncodeWire produces the physical wire levels for blk given (and
+// advancing) the bus state. The returned burst's bits are wire levels, so
+// Transitions counting must use a fresh copy of the pre-burst state; to
+// keep call sites simple the toggle count is also returned.
+func (BusInvert) EncodeWire(blk *bitblock.Block, s *bitblock.BusState) (wire *bitblock.Burst, toggles int) {
+	wire = bitblock.NewBurst(BusWidth, 8)
+	for beat := 0; beat < 8; beat++ {
+		for c := 0; c < bitblock.Chips; c++ {
+			b := blk[beat*bitblock.Chips+c]
+			// Toggles if sent as-is, counting the BI wire returning low.
+			asIs := 0
+			for i := 0; i < 8; i++ {
+				if b>>i&1 == 1 != s.Pin(chipDataPin(c, i)) {
+					asIs++
+				}
+			}
+			if s.Pin(chipDBIPin(c)) {
+				asIs++ // BI wire drops back to 0
+			}
+			inverted := 0
+			for i := 0; i < 8; i++ {
+				if ^b>>i&1 == 1 != s.Pin(chipDataPin(c, i)) {
+					inverted++
+				}
+			}
+			if !s.Pin(chipDBIPin(c)) {
+				inverted++ // BI wire rises to 1
+			}
+			out, biLevel := b, false
+			if inverted < asIs {
+				out, biLevel = ^b, true
+				toggles += inverted
+			} else {
+				toggles += asIs
+			}
+			for i := 0; i < 8; i++ {
+				level := out>>i&1 == 1
+				wire.SetBit(beat, chipDataPin(c, i), level)
+				s.SetPin(chipDataPin(c, i), level)
+			}
+			wire.SetBit(beat, chipDBIPin(c), biLevel)
+			s.SetPin(chipDBIPin(c), biLevel)
+		}
+	}
+	return wire, toggles
+}
+
+// DecodeWire reconstructs the block from wire levels: a high BI wire means
+// the byte was inverted.
+func (BusInvert) DecodeWire(wire *bitblock.Burst) bitblock.Block {
+	var blk bitblock.Block
+	for beat := 0; beat < 8; beat++ {
+		for c := 0; c < bitblock.Chips; c++ {
+			b := byte(wire.BeatBits(beat, chipDataPin(c, 0), 8))
+			if wire.Bit(beat, chipDBIPin(c)) {
+				b = ^b
+			}
+			blk[beat*bitblock.Chips+c] = b
+		}
+	}
+	return blk
+}

@@ -1,0 +1,280 @@
+package cpu
+
+import (
+	"testing"
+
+	"mil/internal/cache"
+)
+
+// listStream replays a fixed op list.
+type listStream struct {
+	ops []Op
+	i   int
+}
+
+func (s *listStream) Next() (Op, bool) {
+	if s.i >= len(s.ops) {
+		return Op{}, false
+	}
+	op := s.ops[s.i]
+	s.i++
+	return op, true
+}
+
+// ctrlPort is a MemPort whose completions the test triggers manually.
+type ctrlPort struct {
+	pending map[int64]func()
+	reads   int
+}
+
+func newCtrlPort() *ctrlPort { return &ctrlPort{pending: map[int64]func(){}} }
+
+func (p *ctrlPort) ReadLine(line int64, demand bool, stream int, done func()) bool {
+	p.reads++
+	p.pending[line] = done
+	return true
+}
+func (p *ctrlPort) WriteLine(line int64, stream int) bool { return true }
+func (p *ctrlPort) Promote(line int64)                    {}
+func (p *ctrlPort) complete(line int64) {
+	done := p.pending[line]
+	delete(p.pending, line)
+	done()
+}
+
+func smallHier(t *testing.T, port cache.MemPort, cores int) *cache.Hierarchy {
+	t.Helper()
+	h, err := cache.NewHierarchy(cache.Config{
+		Cores: cores, LineBytes: 64,
+		L1Size: 64 * 8, L1Ways: 2, L1HitLat: 2,
+		L2Size: 64 * 64, L2Ways: 4, L2HitLat: 8,
+		MSHRs: 8,
+	}, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Cores: 0, ThreadsPerCore: 1, IssueWidth: 1},
+		{Cores: 1, ThreadsPerCore: 0, IssueWidth: 1},
+		{Cores: 1, ThreadsPerCore: 1, IssueWidth: 0},
+		{Cores: 1, ThreadsPerCore: 1, IssueWidth: 1, OutOfOrder: true, MaxOutstanding: 0},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	good := ServerConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.Threads() != 32 {
+		t.Fatalf("server threads = %d", good.Threads())
+	}
+	mobile := MobileConfig()
+	if mobile.Threads() != 8 {
+		t.Fatal("mobile threads")
+	}
+}
+
+func TestStreamCountMustMatch(t *testing.T) {
+	port := newCtrlPort()
+	h := smallHier(t, port, 1)
+	cfg := Config{Cores: 1, ThreadsPerCore: 1, IssueWidth: 1}
+	if _, err := NewProcessor(cfg, h, nil); err == nil {
+		t.Error("empty stream slice accepted")
+	}
+	if _, err := NewProcessor(cfg, nil, []Stream{&listStream{}}); err == nil {
+		t.Error("nil hierarchy accepted")
+	}
+}
+
+func TestComputeTiming(t *testing.T) {
+	port := newCtrlPort()
+	h := smallHier(t, port, 1)
+	p, err := NewProcessor(Config{Cores: 1, ThreadsPerCore: 1, IssueWidth: 2}, h,
+		[]Stream{&listStream{ops: []Op{{Kind: OpCompute, N: 10}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := int64(0)
+	for ; !p.Done() && now < 100; now++ {
+		p.Tick(now)
+	}
+	// 10 instructions at width 2 = 5 cycles, +1 tick to observe the end.
+	if ft := p.FinishTimes()[0]; ft != 5 {
+		t.Fatalf("finish at %d, want 5", ft)
+	}
+	if p.Retired != 10 {
+		t.Fatalf("retired = %d", p.Retired)
+	}
+}
+
+func TestInOrderBlocksOnMiss(t *testing.T) {
+	port := newCtrlPort()
+	h := smallHier(t, port, 1)
+	p, err := NewProcessor(Config{Cores: 1, ThreadsPerCore: 1, IssueWidth: 1}, h,
+		[]Stream{&listStream{ops: []Op{
+			{Kind: OpLoad, Addr: 0},
+			{Kind: OpLoad, Addr: 64 * 100},
+		}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := int64(0); now < 50; now++ {
+		p.Tick(now)
+	}
+	if port.reads != 1 {
+		t.Fatalf("in-order issued %d reads while blocked, want 1", port.reads)
+	}
+	port.complete(0)
+	for now := int64(50); now < 100; now++ {
+		p.Tick(now)
+	}
+	if port.reads != 2 {
+		t.Fatalf("second load never issued: %d", port.reads)
+	}
+	port.complete(100)
+	for now := int64(100); now < 150 && !p.Done(); now++ {
+		p.Tick(now)
+	}
+	if !p.Done() {
+		t.Fatal("processor never finished")
+	}
+	if p.StallTics == 0 {
+		t.Fatal("no stall cycles recorded for a blocking miss")
+	}
+}
+
+func TestOutOfOrderOverlapsMisses(t *testing.T) {
+	port := newCtrlPort()
+	h := smallHier(t, port, 1)
+	p, err := NewProcessor(Config{Cores: 1, ThreadsPerCore: 1, IssueWidth: 1, OutOfOrder: true, MaxOutstanding: 4}, h,
+		[]Stream{&listStream{ops: []Op{
+			{Kind: OpLoad, Addr: 0},
+			{Kind: OpLoad, Addr: 64 * 100},
+			{Kind: OpLoad, Addr: 64 * 200},
+		}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := int64(0); now < 20; now++ {
+		p.Tick(now)
+	}
+	if port.reads != 3 {
+		t.Fatalf("OoO core issued %d reads, want 3 overlapped", port.reads)
+	}
+}
+
+func TestOutOfOrderWindowLimit(t *testing.T) {
+	port := newCtrlPort()
+	h := smallHier(t, port, 1)
+	p, err := NewProcessor(Config{Cores: 1, ThreadsPerCore: 1, IssueWidth: 1, OutOfOrder: true, MaxOutstanding: 2}, h,
+		[]Stream{&listStream{ops: []Op{
+			{Kind: OpLoad, Addr: 0},
+			{Kind: OpLoad, Addr: 64 * 100},
+			{Kind: OpLoad, Addr: 64 * 200},
+		}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := int64(0); now < 20; now++ {
+		p.Tick(now)
+	}
+	if port.reads != 2 {
+		t.Fatalf("window of 2 let %d misses fly", port.reads)
+	}
+	port.complete(0)
+	for now := int64(20); now < 40; now++ {
+		p.Tick(now)
+	}
+	if port.reads != 3 {
+		t.Fatalf("third load never issued after a completion: %d", port.reads)
+	}
+}
+
+func TestStoresDoNotBlock(t *testing.T) {
+	port := newCtrlPort()
+	h := smallHier(t, port, 1)
+	p, err := NewProcessor(Config{Cores: 1, ThreadsPerCore: 1, IssueWidth: 1}, h,
+		[]Stream{&listStream{ops: []Op{
+			{Kind: OpStore, Addr: 0},
+			{Kind: OpStore, Addr: 64 * 100},
+			{Kind: OpCompute, N: 1},
+		}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := int64(0); now < 20 && !p.Done(); now++ {
+		p.Tick(now)
+	}
+	// Both store misses issued, thread finished without waiting for fills.
+	if port.reads != 2 {
+		t.Fatalf("store misses issued %d reads", port.reads)
+	}
+	if !p.Done() {
+		t.Fatal("stores blocked the thread")
+	}
+	if p.StoreOps != 2 {
+		t.Fatalf("store ops = %d", p.StoreOps)
+	}
+}
+
+func TestMultithreadedCoreHidesLatency(t *testing.T) {
+	port := newCtrlPort()
+	h := smallHier(t, port, 1)
+	// Two threads on one core: when thread 0 blocks, thread 1 proceeds.
+	p, err := NewProcessor(Config{Cores: 1, ThreadsPerCore: 2, IssueWidth: 1}, h,
+		[]Stream{
+			&listStream{ops: []Op{{Kind: OpLoad, Addr: 0}}},
+			&listStream{ops: []Op{{Kind: OpCompute, N: 4}}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := int64(0); now < 20; now++ {
+		p.Tick(now)
+	}
+	times := p.FinishTimes()
+	if times[1] == 0 || times[1] > 10 {
+		t.Fatalf("thread 1 did not make progress under thread 0's miss: %v", times)
+	}
+	port.complete(0)
+	for now := int64(20); now < 40 && !p.Done(); now++ {
+		p.Tick(now)
+	}
+	if !p.Done() {
+		t.Fatal("thread 0 never unblocked")
+	}
+}
+
+func TestL1HitLatencyApplied(t *testing.T) {
+	port := newCtrlPort()
+	h := smallHier(t, port, 1)
+	p, err := NewProcessor(Config{Cores: 1, ThreadsPerCore: 1, IssueWidth: 1}, h,
+		[]Stream{&listStream{ops: []Op{
+			{Kind: OpLoad, Addr: 0},
+			{Kind: OpLoad, Addr: 8}, // same line: L1 hit after the fill
+		}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := int64(0)
+	for ; now < 10; now++ {
+		p.Tick(now)
+	}
+	port.complete(0)
+	for ; !p.Done() && now < 50; now++ {
+		p.Tick(now)
+	}
+	if !p.Done() {
+		t.Fatal("did not finish")
+	}
+	if p.LoadOps != 2 {
+		t.Fatalf("loads = %d", p.LoadOps)
+	}
+}

@@ -1,0 +1,72 @@
+package dram
+
+import "fmt"
+
+// Kind enumerates DRAM commands.
+type Kind int
+
+// Command kinds.
+const (
+	ACT Kind = iota // activate a row
+	PRE             // precharge a bank
+	RD              // column read
+	WR              // column write
+	REF             // refresh one rank (all banks)
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case ACT:
+		return "ACT"
+	case PRE:
+		return "PRE"
+	case RD:
+		return "RD"
+	case WR:
+		return "WR"
+	case REF:
+		return "REF"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsColumn reports whether the command transfers data.
+func (k Kind) IsColumn() bool { return k == RD || k == WR }
+
+// Command is one DRAM command. Row is only meaningful for ACT; Beats and
+// ExtraCAS only for column commands. Beats is the burst length in data
+// beats (8 for the BL8 baseline, 10 for MiLC/CAFO, 16 for 3-LWC); ExtraCAS
+// is the codec latency added to CL/WL (Section 4.4).
+type Command struct {
+	Kind     Kind
+	Rank     int
+	Group    int
+	Bank     int
+	Row      int
+	Beats    int
+	ExtraCAS int
+}
+
+// String implements fmt.Stringer.
+func (c Command) String() string {
+	switch c.Kind {
+	case ACT:
+		return fmt.Sprintf("ACT r%d g%d b%d row%d", c.Rank, c.Group, c.Bank, c.Row)
+	case RD, WR:
+		return fmt.Sprintf("%s r%d g%d b%d bl%d", c.Kind, c.Rank, c.Group, c.Bank, c.Beats)
+	case REF:
+		return fmt.Sprintf("REF r%d", c.Rank)
+	}
+	return fmt.Sprintf("%s r%d g%d b%d", c.Kind, c.Rank, c.Group, c.Bank)
+}
+
+// BurstWindow describes the data-bus occupancy a column command produced:
+// [Start, End) in DRAM cycles.
+type BurstWindow struct {
+	Start int64
+	End   int64
+}
+
+// Cycles returns the bus occupancy length.
+func (w BurstWindow) Cycles() int64 { return w.End - w.Start }

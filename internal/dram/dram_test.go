@@ -1,0 +1,390 @@
+package dram
+
+import (
+	"strings"
+	"testing"
+)
+
+func newDDR4(t *testing.T) *Channel {
+	t.Helper()
+	ch, err := NewChannel(DDR4_3200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func newLPDDR3(t *testing.T) *Channel {
+	t.Helper()
+	ch, err := NewChannel(LPDDR3_1600())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func act(r, g, b, row int) Command { return Command{Kind: ACT, Rank: r, Group: g, Bank: b, Row: row} }
+func rd(r, g, b, row, beats int) Command {
+	return Command{Kind: RD, Rank: r, Group: g, Bank: b, Row: row, Beats: beats}
+}
+func wr(r, g, b, row, beats int) Command {
+	return Command{Kind: WR, Rank: r, Group: g, Bank: b, Row: row, Beats: beats}
+}
+func pre(r, g, b int) Command { return Command{Kind: PRE, Rank: r, Group: g, Bank: b} }
+
+func TestConfigPresetsValid(t *testing.T) {
+	for _, cfg := range []Config{DDR4_3200(), LPDDR3_1600()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestConfigValidationCatchesBadFields(t *testing.T) {
+	cfg := DDR4_3200()
+	cfg.Timing.CL = 0
+	if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "CL") {
+		t.Errorf("zero CL accepted: %v", err)
+	}
+	cfg = DDR4_3200()
+	cfg.Timing.CCDL = cfg.Timing.CCDS - 1
+	if err := cfg.Validate(); err == nil {
+		t.Error("CCD_L < CCD_S accepted")
+	}
+	cfg = DDR4_3200()
+	cfg.Geometry.PageBytes = 100 // not a multiple of the line size
+	if err := cfg.Validate(); err == nil {
+		t.Error("ragged page size accepted")
+	}
+	cfg = DDR4_3200()
+	cfg.ClockNS = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero clock accepted")
+	}
+}
+
+func TestGeometryDerived(t *testing.T) {
+	g := DDR4_3200().Geometry
+	if g.Banks() != 8 {
+		t.Errorf("banks = %d, want 8", g.Banks())
+	}
+	if g.LinesPerPage() != 128 {
+		t.Errorf("lines/page = %d, want 128", g.LinesPerPage())
+	}
+}
+
+func TestActToReadHonorsRCD(t *testing.T) {
+	ch := newDDR4(t)
+	ch.Issue(act(0, 0, 0, 5), 0)
+	cmd := rd(0, 0, 0, 5, 8)
+	if got := ch.EarliestIssue(cmd, 0); got != int64(ch.cfg.Timing.RCD) {
+		t.Fatalf("earliest RD = %d, want tRCD=%d", got, ch.cfg.Timing.RCD)
+	}
+}
+
+func TestReadDataWindow(t *testing.T) {
+	ch := newDDR4(t)
+	ch.Issue(act(0, 0, 0, 5), 0)
+	info := ch.Issue(rd(0, 0, 0, 5, 8), 20)
+	wantStart := int64(20 + ch.cfg.Timing.CL)
+	if info.Window.Start != wantStart || info.Window.End != wantStart+4 {
+		t.Fatalf("window = %+v, want [%d,%d)", info.Window, wantStart, wantStart+4)
+	}
+	if info.PrevEnd != -1 {
+		t.Fatalf("first burst PrevEnd = %d, want -1", info.PrevEnd)
+	}
+}
+
+func TestExtraCASDelaysData(t *testing.T) {
+	ch := newDDR4(t)
+	ch.Issue(act(0, 0, 0, 5), 0)
+	cmd := rd(0, 0, 0, 5, 10)
+	cmd.ExtraCAS = 1
+	info := ch.Issue(cmd, 20)
+	wantStart := int64(20 + ch.cfg.Timing.CL + 1)
+	if info.Window.Start != wantStart || info.Window.End != wantStart+5 {
+		t.Fatalf("window = %+v, want [%d,%d)", info.Window, wantStart, wantStart+5)
+	}
+}
+
+func TestCCDWithinAndAcrossGroups(t *testing.T) {
+	ch := newDDR4(t)
+	tm := ch.cfg.Timing
+	ch.Issue(act(0, 0, 0, 1), 0)
+	ch.Issue(act(0, 0, 1, 1), int64(tm.RRDL))
+	ch.Issue(act(0, 1, 0, 1), int64(tm.RRDL+tm.RRDS))
+	t0 := int64(100)
+	ch.Issue(rd(0, 0, 0, 1, 8), t0)
+	// Same group: tCCD_L; the bus is also busy but CCD_L=8 > 4 bus cycles.
+	if got := ch.EarliestIssue(rd(0, 0, 1, 1, 8), t0); got != t0+int64(tm.CCDL) {
+		t.Fatalf("same-group CAS = %d, want %d", got, t0+int64(tm.CCDL))
+	}
+	// Different group: tCCD_S=4 equals the BL8 bus occupancy.
+	if got := ch.EarliestIssue(rd(0, 1, 0, 1, 8), t0); got != t0+int64(tm.CCDS) {
+		t.Fatalf("cross-group CAS = %d, want %d", got, t0+int64(tm.CCDS))
+	}
+}
+
+func TestLongerBurstOccupiesBusLonger(t *testing.T) {
+	ch := newDDR4(t)
+	tm := ch.cfg.Timing
+	ch.Issue(act(0, 0, 0, 1), 0)
+	ch.Issue(act(0, 1, 0, 1), int64(tm.RRDS))
+	t0 := int64(100)
+	ch.Issue(rd(0, 0, 0, 1, 16), t0) // BL16: 8 bus cycles
+	// Cross-group CCD_S would allow t0+4, but the bus holds data until
+	// t0+CL+8, so the next read can issue only at t0+8 (back-to-back data).
+	got := ch.EarliestIssue(rd(0, 1, 0, 1, 8), t0)
+	if got != t0+8 {
+		t.Fatalf("earliest after BL16 = %d, want %d", got, t0+8)
+	}
+	info := ch.Issue(rd(0, 1, 0, 1, 8), got)
+	if info.Window.Start != t0+int64(tm.CL)+8 {
+		t.Fatalf("second burst start %d, want seamless %d", info.Window.Start, t0+int64(tm.CL)+8)
+	}
+	if info.Anchor != 0 {
+		t.Fatalf("same-rank same-type anchor = %d, want 0", info.Anchor)
+	}
+}
+
+func TestRankSwitchInsertsRTRS(t *testing.T) {
+	ch := newDDR4(t)
+	tm := ch.cfg.Timing
+	ch.Issue(act(0, 0, 0, 1), 0)
+	ch.Issue(act(1, 0, 0, 1), int64(tm.RRDS))
+	t0 := int64(100)
+	first := ch.Issue(rd(0, 0, 0, 1, 8), t0)
+	got := ch.EarliestIssue(rd(1, 0, 0, 1, 8), t0)
+	info := ch.Issue(rd(1, 0, 0, 1, 8), got)
+	if want := first.Window.End + int64(tm.RTRS); info.Window.Start != want {
+		t.Fatalf("cross-rank data starts %d, want %d", info.Window.Start, want)
+	}
+	if info.Anchor != int64(tm.RTRS) {
+		t.Fatalf("anchor = %d, want tRTRS=%d", info.Anchor, tm.RTRS)
+	}
+}
+
+func TestWriteToReadTurnaround(t *testing.T) {
+	ch := newDDR4(t)
+	tm := ch.cfg.Timing
+	ch.Issue(act(0, 0, 0, 1), 0)
+	ch.Issue(act(0, 1, 0, 1), int64(tm.RRDS))
+	t0 := int64(100)
+	winfo := ch.Issue(wr(0, 0, 0, 1, 8), t0)
+	wEnd := winfo.Window.End
+	// Same group: tWTR_L from end of write data to the read command.
+	if got := ch.EarliestIssue(rd(0, 0, 0, 1, 8), t0); got != wEnd+int64(tm.WTRL) {
+		t.Fatalf("same-group WTR read = %d, want %d", got, wEnd+int64(tm.WTRL))
+	}
+	// Different group: tWTR_S.
+	if got := ch.EarliestIssue(rd(0, 1, 0, 1, 8), t0); got != wEnd+int64(tm.WTRS) {
+		t.Fatalf("cross-group WTR read = %d, want %d", got, wEnd+int64(tm.WTRS))
+	}
+	info := ch.Issue(rd(0, 1, 0, 1, 8), wEnd+int64(tm.WTRS))
+	if want := int64(tm.WTRS) + int64(tm.CL); info.Anchor != want {
+		t.Fatalf("write-to-read anchor = %d, want WTR_S+CL=%d", info.Anchor, want)
+	}
+}
+
+func TestWriteRecoveryDelaysPrecharge(t *testing.T) {
+	ch := newDDR4(t)
+	tm := ch.cfg.Timing
+	ch.Issue(act(0, 0, 0, 1), 0)
+	info := ch.Issue(wr(0, 0, 0, 1, 8), 100)
+	want := max64(info.Window.End+int64(tm.WR), int64(tm.RAS))
+	if got := ch.EarliestIssue(pre(0, 0, 0), 0); got != want {
+		t.Fatalf("earliest PRE = %d, want %d", got, want)
+	}
+}
+
+func TestReadToPrechargeHonorsRTP(t *testing.T) {
+	ch := newDDR4(t)
+	tm := ch.cfg.Timing
+	ch.Issue(act(0, 0, 0, 1), 0)
+	t0 := int64(60) // past tRAS so RTP is the binding constraint
+	ch.Issue(rd(0, 0, 0, 1, 8), t0)
+	if got := ch.EarliestIssue(pre(0, 0, 0), t0); got != t0+int64(tm.RTP) {
+		t.Fatalf("earliest PRE = %d, want %d", got, t0+int64(tm.RTP))
+	}
+}
+
+func TestPrechargeToActHonorsRP(t *testing.T) {
+	ch := newDDR4(t)
+	tm := ch.cfg.Timing
+	ch.Issue(act(0, 0, 0, 1), 0)
+	preAt := int64(tm.RAS)
+	ch.Issue(pre(0, 0, 0), preAt)
+	want := max64(preAt+int64(tm.RP), int64(tm.RC))
+	if got := ch.EarliestIssue(act(0, 0, 0, 2), 0); got != want {
+		t.Fatalf("earliest re-ACT = %d, want %d", got, want)
+	}
+}
+
+func TestRRDWithinAndAcrossGroups(t *testing.T) {
+	ch := newDDR4(t)
+	tm := ch.cfg.Timing
+	ch.Issue(act(0, 0, 0, 1), 0)
+	if got := ch.EarliestIssue(act(0, 0, 1, 1), 0); got != int64(tm.RRDL) {
+		t.Fatalf("same-group ACT = %d, want tRRD_L=%d", got, tm.RRDL)
+	}
+	if got := ch.EarliestIssue(act(0, 1, 0, 1), 0); got != int64(tm.RRDS) {
+		t.Fatalf("cross-group ACT = %d, want tRRD_S=%d", got, tm.RRDS)
+	}
+	// Other rank: unconstrained by RRD.
+	if got := ch.EarliestIssue(act(1, 0, 0, 1), 0); got != 0 {
+		t.Fatalf("other-rank ACT = %d, want 0", got)
+	}
+}
+
+func TestFourActivateWindow(t *testing.T) {
+	ch := newDDR4(t)
+	tm := ch.cfg.Timing
+	// Four ACTs as fast as RRD allows, spread over both groups' banks.
+	times := []int64{0, 0, 0, 0}
+	cmds := []Command{act(0, 0, 0, 1), act(0, 1, 0, 1), act(0, 2, 0, 1), act(0, 3, 0, 1)}
+	now := int64(0)
+	for i, c := range cmds {
+		now = ch.EarliestIssue(c, now)
+		ch.Issue(c, now)
+		times[i] = now
+	}
+	fifth := act(0, 0, 1, 1)
+	got := ch.EarliestIssue(fifth, now)
+	if want := times[0] + int64(tm.FAW); got != want {
+		t.Fatalf("fifth ACT = %d, want FAW-bound %d", got, want)
+	}
+}
+
+func TestRefreshBlocksRank(t *testing.T) {
+	ch := newDDR4(t)
+	tm := ch.cfg.Timing
+	ch.Issue(Command{Kind: REF, Rank: 0}, 10)
+	if got := ch.EarliestIssue(act(0, 0, 0, 1), 0); got != 10+int64(tm.RFC) {
+		t.Fatalf("ACT during refresh = %d, want %d", got, 10+int64(tm.RFC))
+	}
+	// The other rank is unaffected.
+	if got := ch.EarliestIssue(act(1, 0, 0, 1), 0); got != 0 {
+		t.Fatalf("other-rank ACT = %d, want 0", got)
+	}
+}
+
+func TestRefreshRequiresClosedBanks(t *testing.T) {
+	ch := newDDR4(t)
+	ch.Issue(act(0, 0, 0, 1), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("REF with open bank did not panic")
+		}
+	}()
+	ch.EarliestIssue(Command{Kind: REF, Rank: 0}, 1000)
+}
+
+func TestRefreshWaitsForRP(t *testing.T) {
+	ch := newDDR4(t)
+	tm := ch.cfg.Timing
+	ch.Issue(act(0, 0, 0, 1), 0)
+	preAt := int64(tm.RAS)
+	ch.Issue(pre(0, 0, 0), preAt)
+	if got := ch.EarliestIssue(Command{Kind: REF, Rank: 0}, 0); got != preAt+int64(tm.RP) {
+		t.Fatalf("REF = %d, want %d", got, preAt+int64(tm.RP))
+	}
+}
+
+func TestIssueBeforeEarliestPanics(t *testing.T) {
+	ch := newDDR4(t)
+	ch.Issue(act(0, 0, 0, 1), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ch.Issue(rd(0, 0, 0, 1, 8), 1) // before tRCD
+}
+
+func TestColumnToClosedBankPanics(t *testing.T) {
+	ch := newDDR4(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ch.EarliestIssue(rd(0, 0, 0, 1, 8), 0)
+}
+
+func TestActToOpenBankPanics(t *testing.T) {
+	ch := newDDR4(t)
+	ch.Issue(act(0, 0, 0, 1), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ch.EarliestIssue(act(0, 0, 0, 2), 1000)
+}
+
+func TestOddBurstPanics(t *testing.T) {
+	ch := newDDR4(t)
+	ch.Issue(act(0, 0, 0, 1), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ch.Issue(rd(0, 0, 0, 1, 9), 100)
+}
+
+func TestOpenRowTracking(t *testing.T) {
+	ch := newDDR4(t)
+	if _, open := ch.OpenRow(0, 0, 0); open {
+		t.Fatal("bank open at reset")
+	}
+	ch.Issue(act(0, 0, 0, 7), 0)
+	row, open := ch.OpenRow(0, 0, 0)
+	if !open || row != 7 {
+		t.Fatalf("open row = %d/%v, want 7/true", row, open)
+	}
+	ch.Issue(pre(0, 0, 0), int64(ch.cfg.Timing.RAS))
+	if _, open := ch.OpenRow(0, 0, 0); open {
+		t.Fatal("bank still open after PRE")
+	}
+}
+
+func TestLPDDR3SingleGroupSymmetric(t *testing.T) {
+	ch := newLPDDR3(t)
+	tm := ch.cfg.Timing
+	ch.Issue(act(0, 0, 0, 1), 0)
+	if got := ch.EarliestIssue(act(0, 0, 1, 1), 0); got != int64(tm.RRDL) {
+		t.Fatalf("LPDDR3 ACT-to-ACT = %d, want %d", got, tm.RRDL)
+	}
+	ch.Issue(act(0, 0, 1, 1), int64(tm.RRDL))
+	t0 := int64(50)
+	ch.Issue(rd(0, 0, 0, 1, 8), t0)
+	if got := ch.EarliestIssue(rd(0, 0, 1, 1, 8), t0); got != t0+int64(tm.CCDL) {
+		t.Fatalf("LPDDR3 CAS-to-CAS = %d, want %d", got, t0+int64(tm.CCDL))
+	}
+}
+
+func TestCommandStrings(t *testing.T) {
+	cases := map[string]Command{
+		"ACT r0 g1 b2 row3": act(0, 1, 2, 3),
+		"RD r1 g0 b0 bl10":  rd(1, 0, 0, 9, 10),
+		"WR r0 g2 b1 bl16":  wr(0, 2, 1, 4, 16),
+		"REF r1":            {Kind: REF, Rank: 1},
+		"PRE r0 g0 b3":      pre(0, 0, 3),
+	}
+	for want, cmd := range cases {
+		if got := cmd.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	if !RD.IsColumn() || !WR.IsColumn() || ACT.IsColumn() || PRE.IsColumn() || REF.IsColumn() {
+		t.Error("IsColumn misclassifies")
+	}
+}
+
+func TestBurstWindowCycles(t *testing.T) {
+	w := BurstWindow{Start: 10, End: 15}
+	if w.Cycles() != 5 {
+		t.Fatalf("cycles = %d", w.Cycles())
+	}
+}

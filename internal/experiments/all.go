@@ -1,0 +1,50 @@
+package experiments
+
+import "mil/internal/sim"
+
+// Generator names one reproducible experiment.
+type Generator struct {
+	ID  string
+	Run func(r *Runner) (*Table, error)
+}
+
+// Generators lists every experiment in the paper's presentation order.
+func Generators() []Generator {
+	return []Generator{
+		{"Figure 1", func(r *Runner) (*Table, error) { return r.Figure1() }},
+		{"Figure 2", func(r *Runner) (*Table, error) { return r.Figure2() }},
+		{"Figure 4", func(r *Runner) (*Table, error) { return r.Figure4() }},
+		{"Figure 5", func(r *Runner) (*Table, error) { return r.Figure5() }},
+		{"Figure 6", func(r *Runner) (*Table, error) { return r.Figure6() }},
+		{"Figure 7", func(r *Runner) (*Table, error) { return r.Figure7() }},
+		{"Table 4", func(r *Runner) (*Table, error) { return r.Table4() }},
+		{"Figure 16(a)", func(r *Runner) (*Table, error) { return r.Figure16(sim.Server) }},
+		{"Figure 16(b)", func(r *Runner) (*Table, error) { return r.Figure16(sim.Mobile) }},
+		{"Figure 17(a)", func(r *Runner) (*Table, error) { return r.Figure17(sim.Server) }},
+		{"Figure 17(b)", func(r *Runner) (*Table, error) { return r.Figure17(sim.Mobile) }},
+		{"Figure 18(a)", func(r *Runner) (*Table, error) { return r.Figure18(sim.Server) }},
+		{"Figure 18(b)", func(r *Runner) (*Table, error) { return r.Figure18(sim.Mobile) }},
+		{"Figure 19(a)", func(r *Runner) (*Table, error) { return r.Figure19(sim.Server) }},
+		{"Figure 19(b)", func(r *Runner) (*Table, error) { return r.Figure19(sim.Mobile) }},
+		{"Figure 20", func(r *Runner) (*Table, error) { return r.Figure20() }},
+		{"Figure 21", func(r *Runner) (*Table, error) { return r.Figure21() }},
+		{"Figure 22", func(r *Runner) (*Table, error) { return r.Figure22() }},
+		{"Extension 1", func(r *Runner) (*Table, error) { return r.Extension1() }},
+		{"Extension 2", func(r *Runner) (*Table, error) { return r.Extension2() }},
+		{"Extension 3", func(r *Runner) (*Table, error) { return r.Extension3() }},
+		{"Extension 4", func(r *Runner) (*Table, error) { return r.Extension4() }},
+	}
+}
+
+// All regenerates every table and figure.
+func (r *Runner) All() ([]*Table, error) {
+	var tables []*Table
+	for _, g := range Generators() {
+		t, err := g.Run(r)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mil/internal/sim"
+)
+
+// tinyRunner keeps experiment tests fast; shapes are still checked.
+func tinyRunner() *Runner { return NewRunner(250) }
+
+func TestGeneratorsCoverEveryTableAndFigure(t *testing.T) {
+	want := []string{
+		"Figure 1", "Figure 2", "Figure 4", "Figure 5", "Figure 6",
+		"Figure 7", "Table 4", "Figure 16(a)", "Figure 16(b)",
+		"Figure 17(a)", "Figure 17(b)", "Figure 18(a)", "Figure 18(b)",
+		"Figure 19(a)", "Figure 19(b)", "Figure 20", "Figure 21", "Figure 22",
+		"Extension 1", "Extension 2", "Extension 3", "Extension 4",
+	}
+	gens := Generators()
+	if len(gens) != len(want) {
+		t.Fatalf("%d generators, want %d", len(gens), len(want))
+	}
+	for i, g := range gens {
+		if g.ID != want[i] {
+			t.Errorf("generator %d = %q, want %q", i, g.ID, want[i])
+		}
+	}
+}
+
+func TestRunnerCachesRuns(t *testing.T) {
+	r := tinyRunner()
+	a, err := r.get(sim.Server, "baseline", "MM", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.get(sim.Server, "baseline", "MM", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second get did not hit the cache")
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	r := tinyRunner()
+	tab, err := r.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		// exec time ratio > 1 (always-on wide code slows things down)...
+		if !strings.HasPrefix(row[1], "1.") {
+			t.Errorf("%s exec ratio %s not > 1", row[0], row[1])
+		}
+		// ...while IO energy drops below the baseline.
+		if !strings.HasPrefix(row[2], "0.") {
+			t.Errorf("%s IO ratio %s not < 1", row[0], row[2])
+		}
+	}
+}
+
+func TestFigure5RowsSortedByUtilization(t *testing.T) {
+	r := tinyRunner()
+	tab, err := r.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 11 {
+		t.Fatalf("rows = %d, want 11 benchmarks", len(tab.Rows))
+	}
+	prev := -1.0
+	for _, row := range tab.Rows {
+		var v float64
+		if _, err := fmtSscanPct(row[3], &v); err != nil {
+			t.Fatalf("bad cell %q: %v", row[3], err)
+		}
+		if v < prev {
+			t.Fatalf("utilization not sorted: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestFigure7Monotone(t *testing.T) {
+	r := tinyRunner()
+	tab, err := r.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := tab.Rows[len(tab.Rows)-1]
+	if mean[0] != "MEAN" {
+		t.Fatal("missing MEAN row")
+	}
+	prev := 10.0
+	for _, cell := range mean[2:] { // the (8,k) columns
+		var v float64
+		if _, err := fmtSscan(cell, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v > prev {
+			t.Fatalf("static LWC zeros not monotone: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestTable4MatchesPaper(t *testing.T) {
+	r := tinyRunner()
+	tab, err := r.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][1] != "1429" || tab.Rows[3][2] != "0.70" {
+		t.Fatalf("Table 4 constants drifted: %v", tab.Rows)
+	}
+}
+
+func TestFigure22SharesSumBelowOne(t *testing.T) {
+	r := tinyRunner()
+	tab, err := r.Figure22()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		var milc, lwc float64
+		if _, err := fmtSscanPct(row[1], &milc); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscanPct(row[2], &lwc); err != nil {
+			t.Fatal(err)
+		}
+		if milc+lwc < 0.99 || milc+lwc > 1.01 {
+			t.Fatalf("%s: MiLC+3LWC = %v, want 1", row[0], milc+lwc)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID: "Figure X", Title: "demo", Note: "note",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+	}
+	s := tab.String()
+	for _, want := range []string{"### Figure X", "| a | b |", "| 1 | 2 |", "note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); g < 3.99 || g > 4.01 {
+		t.Fatalf("geomean = %v", g)
+	}
+	if geomean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+	if geomean([]float64{1, -1}) != 0 {
+		t.Fatal("non-positive geomean")
+	}
+}
+
+// fmtSscan parses a plain float cell.
+func fmtSscan(s string, v *float64) (int, error) {
+	return sscan(s, v)
+}
+
+// fmtSscanPct parses a "12.3%" cell into a fraction.
+func fmtSscanPct(s string, v *float64) (int, error) {
+	n, err := sscan(strings.TrimSuffix(s, "%"), v)
+	*v /= 100
+	return n, err
+}
+
+// sscan wraps fmt.Sscanf for the cell parsers above.
+func sscan(s string, v *float64) (int, error) {
+	return fmt.Sscanf(s, "%f", v)
+}

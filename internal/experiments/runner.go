@@ -1,0 +1,135 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (and the motivating Figures 1-7) from the simulator. Each
+// FigureN/TableN method returns a rendered table; cmd/milexp assembles them
+// into EXPERIMENTS.md. Results are cached per (system, scheme, benchmark,
+// look-ahead) so figures that share runs - 16 through 19 and 22 all come
+// from the same sweep - pay for them once.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"mil/internal/sim"
+	"mil/internal/workload"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID     string // "Figure 16(a)", "Table 4", ...
+	Title  string
+	Note   string // what the paper reports and what shape to expect
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table as GitHub markdown.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s — %s\n\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&sb, "%s\n\n", t.Note)
+	}
+	sb.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return sb.String()
+}
+
+// runKey identifies one cached simulation.
+type runKey struct {
+	system    sim.SystemKind
+	scheme    string
+	bench     string
+	x         int
+	powerDown bool
+}
+
+// Runner executes and caches simulations.
+type Runner struct {
+	// MemOps is the per-thread memory-operation budget for every run.
+	MemOps int64
+	// Progress, when non-nil, receives one line per fresh simulation.
+	Progress io.Writer
+
+	cache map[runKey]*sim.Result
+}
+
+// NewRunner returns a runner with the given run length (0 = default).
+func NewRunner(memOps int64) *Runner {
+	if memOps <= 0 {
+		memOps = sim.DefaultMemOps
+	}
+	return &Runner{MemOps: memOps, cache: make(map[runKey]*sim.Result)}
+}
+
+// get returns the cached or freshly computed result for a configuration.
+func (r *Runner) get(system sim.SystemKind, scheme, bench string, x int) (*sim.Result, error) {
+	return r.getPD(system, scheme, bench, x, false)
+}
+
+// getPD is get with the power-down extension toggled (Extension 3).
+func (r *Runner) getPD(system sim.SystemKind, scheme, bench string, x int, pd bool) (*sim.Result, error) {
+	key := runKey{system, scheme, bench, x, pd}
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	b, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, "run %s/%s/%s x=%d pd=%v ops=%d\n", system, scheme, bench, x, pd, r.MemOps)
+	}
+	res, err := sim.Run(sim.Config{
+		System: system, Scheme: scheme, Benchmark: b,
+		MemOpsPerThread: r.MemOps, LookaheadX: x, PowerDown: pd,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.cache[key] = res
+	return res, nil
+}
+
+// suiteSorted returns the benchmark names sorted by the baseline run's bus
+// utilization on the given system, low to high - the paper's presentation
+// order for Figures 5 and 16-19.
+func (r *Runner) suiteSorted(system sim.SystemKind) ([]string, error) {
+	names := append([]string(nil), workload.Names()...)
+	util := make(map[string]float64, len(names))
+	for _, n := range names {
+		res, err := r.get(system, "baseline", n, 0)
+		if err != nil {
+			return nil, err
+		}
+		util[n] = res.BusUtilization()
+	}
+	sort.SliceStable(names, func(i, j int) bool { return util[names[i]] < util[names[j]] })
+	return names, nil
+}
+
+// geomean returns the geometric mean of positive values.
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}
+
+// f2, f3, pct format numbers for table cells.
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mil/internal/sim"
+)
+
+// Figure20 reproduces the fixed-burst-length sensitivity study: always
+// coding with BL10 (MiLC), BL12/BL14 (stretched intermediate codes) and
+// BL16 (3-LWC) on the DDR4 system.
+func (r *Runner) Figure20() (*Table, error) {
+	names, err := r.suiteSorted(sim.Server)
+	if err != nil {
+		return nil, err
+	}
+	schemes := []string{"bl10", "bl12", "bl14", "bl16"}
+	t := &Table{
+		ID:    "Figure 20",
+		Title: "Execution time vs fixed burst length, normalized to BL8 baseline (DDR4)",
+		Note: "Paper: average slowdowns of 3/6/6.5/9.3% for BL10/12/14/16; the " +
+			"data-intensive benchmarks suffer most, motivating the hybrid scheme.",
+		Header: append([]string{"benchmark (by bus util)"}, schemes...),
+	}
+	gm := map[string][]float64{}
+	for _, n := range names {
+		base, err := r.get(sim.Server, "baseline", n, 0)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{n}
+		for _, s := range schemes {
+			res, err := r.get(sim.Server, s, n, 0)
+			if err != nil {
+				return nil, err
+			}
+			v := float64(res.CPUCycles) / float64(base.CPUCycles)
+			row = append(row, f3(v))
+			gm[s] = append(gm[s], v)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	row := []string{"GEOMEAN"}
+	for _, s := range schemes {
+		row = append(row, f3(geomean(gm[s])))
+	}
+	t.Rows = append(t.Rows, row)
+	return t, nil
+}
+
+// Figure21 reproduces the look-ahead-distance sweep: MiL's execution time
+// (geometric mean over the suite, normalized to baseline) as X varies.
+func (r *Runner) Figure21() (*Table, error) {
+	names, err := r.suiteSorted(sim.Server)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "Figure 21",
+		Title: "Impact of the look-ahead distance X on MiL's execution time (DDR4)",
+		Note: "Paper: within 4% of each other for X >= 6; the imperfect " +
+			"prediction means the best X can exceed the natural 8.",
+		Header: []string{"X (cycles)", "geomean exec time vs baseline", "worst benchmark", "worst ratio"},
+	}
+	for _, x := range []int{2, 4, 6, 8, 10, 12, 14} {
+		var ratios []float64
+		worst, worstV := "", 0.0
+		for _, n := range names {
+			base, err := r.get(sim.Server, "baseline", n, 0)
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.get(sim.Server, "mil", n, x)
+			if err != nil {
+				return nil, err
+			}
+			v := float64(res.CPUCycles) / float64(base.CPUCycles)
+			ratios = append(ratios, v)
+			if v > worstV {
+				worst, worstV = n, v
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", x), f3(geomean(ratios)), worst, f3(worstV),
+		})
+	}
+	return t, nil
+}

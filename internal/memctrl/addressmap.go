@@ -1,0 +1,66 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"mil/internal/dram"
+)
+
+// Location is a fully decoded DRAM coordinate for one cache line.
+type Location struct {
+	Channel int
+	Rank    int
+	Group   int
+	Bank    int
+	Row     int
+	Col     int
+}
+
+// AddressMapper implements the page-interleaved mapping of Table 2:
+// consecutive lines fill a row buffer (page), consecutive pages rotate
+// across channels, then bank groups, banks, and ranks, so independent pages
+// land on independently timed resources.
+type AddressMapper struct {
+	channels     int
+	geom         dram.Geometry
+	linesPerPage int64
+}
+
+// NewAddressMapper builds a mapper for the given channel count and device
+// geometry.
+func NewAddressMapper(channels int, geom dram.Geometry) (*AddressMapper, error) {
+	if channels <= 0 {
+		return nil, fmt.Errorf("memctrl: channels = %d", channels)
+	}
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	return &AddressMapper{
+		channels:     channels,
+		geom:         geom,
+		linesPerPage: int64(geom.LinesPerPage()),
+	}, nil
+}
+
+// Channels returns the channel count.
+func (m *AddressMapper) Channels() int { return m.channels }
+
+// Map decodes a cache-line index.
+func (m *AddressMapper) Map(line int64) Location {
+	if line < 0 {
+		line = -line
+	}
+	var loc Location
+	loc.Col = int(line % m.linesPerPage)
+	rest := line / m.linesPerPage
+	loc.Channel = int(rest % int64(m.channels))
+	rest /= int64(m.channels)
+	loc.Group = int(rest % int64(m.geom.BankGroups))
+	rest /= int64(m.geom.BankGroups)
+	loc.Bank = int(rest % int64(m.geom.BanksPerGroup))
+	rest /= int64(m.geom.BanksPerGroup)
+	loc.Rank = int(rest % int64(m.geom.Ranks))
+	rest /= int64(m.geom.Ranks)
+	loc.Row = int(rest % int64(m.geom.Rows))
+	return loc
+}

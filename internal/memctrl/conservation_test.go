@@ -1,0 +1,131 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+
+	"mil/internal/bitblock"
+	"mil/internal/code"
+	"mil/internal/dram"
+)
+
+// TestRequestConservation pushes a randomized mix of reads and writes
+// through a controller and checks that every accepted request completes
+// exactly once, that command counts are consistent, and that the final
+// memory contents equal the last accepted write per line.
+func TestRequestConservation(t *testing.T) {
+	mem := NewOverlayMemory(func(line int64) bitblock.Block {
+		return bitblock.FromBytes([]byte{byte(line), byte(line >> 8)})
+	})
+	c, err := NewController(DefaultConfig(dram.DDR4_3200()), mem, FixedPolicy{Codec: code.DBI{}}, &PODPhy{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper, err := NewAddressMapper(1, dram.DDR4_3200().Geometry)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(77))
+	completions := map[*Request]int{}
+	lastWrite := map[int64]byte{}
+	var accepted, acceptedReads, acceptedWrites, coalesced int
+
+	now := int64(0)
+	for i := 0; i < 3000; i++ {
+		line := int64(rng.Intn(400)) // small space: plenty of same-line traffic
+		req := &Request{Line: line, Write: rng.Intn(3) == 0, Demand: true}
+		req.loc = mapper.Map(line)
+		req.OnDone = func(r *Request) func(int64) {
+			return func(int64) { completions[r]++ }
+		}(req)
+		if req.Write {
+			tag := byte(rng.Intn(256))
+			req.Data = bitblock.FromBytes([]byte{tag})
+			wasQueued := false
+			for _, w := range c.wq {
+				if w.Line == line {
+					wasQueued = true
+					break
+				}
+			}
+			if c.Enqueue(req, now) {
+				accepted++
+				acceptedWrites++
+				lastWrite[line] = tag
+				if wasQueued {
+					coalesced++
+				}
+			}
+		} else if c.Enqueue(req, now) {
+			accepted++
+			acceptedReads++
+		}
+		// Advance a few cycles between arrivals.
+		steps := int64(rng.Intn(4))
+		for s := int64(0); s <= steps; s++ {
+			c.Tick(now)
+			now++
+		}
+	}
+	for c.Pending() {
+		c.Tick(now)
+		now++
+	}
+
+	total := 0
+	for req, n := range completions {
+		if n != 1 {
+			t.Fatalf("request %+v completed %d times", req, n)
+		}
+		total++
+	}
+	if total != accepted {
+		t.Fatalf("%d completions for %d accepted requests", total, accepted)
+	}
+
+	s := c.Stats()
+	if s.Reads+s.Forwards != int64(acceptedReads) {
+		t.Fatalf("reads issued %d + forwarded %d != accepted %d", s.Reads, s.Forwards, acceptedReads)
+	}
+	if s.Writes+int64(coalesced) != int64(acceptedWrites) {
+		t.Fatalf("writes issued %d + coalesced %d != accepted %d", s.Writes, coalesced, acceptedWrites)
+	}
+
+	for line, tag := range lastWrite {
+		if got := mem.ReadLine(line); got[0] != tag {
+			t.Fatalf("line %d holds %d, want last write %d", line, got[0], tag)
+		}
+	}
+}
+
+// TestRefreshKeepsUpUnderLoad verifies refreshes keep being issued at
+// roughly the nominal rate even while the controller is saturated.
+func TestRefreshKeepsUpUnderLoad(t *testing.T) {
+	mem := NewOverlayMemory(nil)
+	c, err := NewController(DefaultConfig(dram.DDR4_3200()), mem, FixedPolicy{Codec: code.DBI{}}, &PODPhy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper, err := NewAddressMapper(1, dram.DDR4_3200().Geometry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	tm := dram.DDR4_3200().Timing
+	horizon := int64(tm.REFI) * 10
+	for now := int64(0); now < horizon; now++ {
+		if rq, _ := c.QueueDepths(); rq < 60 {
+			line := int64(rng.Intn(1 << 20))
+			req := &Request{Line: line, Demand: true}
+			req.loc = mapper.Map(line)
+			c.Enqueue(req, now)
+		}
+		c.Tick(now)
+	}
+	want := 10 * int64(dram.DDR4_3200().Geometry.Ranks)
+	got := c.Stats().Refreshes
+	if got < want-4 || got > want+4 {
+		t.Fatalf("refreshes = %d over 10 tREFI, want about %d", got, want)
+	}
+}

@@ -1,0 +1,648 @@
+package memctrl
+
+import (
+	"fmt"
+	"io"
+
+	"mil/internal/bitblock"
+	"mil/internal/dram"
+)
+
+// PowerDownConfig enables the fast power-down extension the paper points
+// at in Section 7.3 (Malladi et al. [60]): a rank with all banks precharged
+// and no queued work enters power-down after IdleCycles, paying the lower
+// IDD2P background current; waking costs XP cycles before its next command.
+// The paper's evaluated systems run with this off (DDR4's lack of a fast
+// power-down mode is why background energy dominates Figure 18(a)).
+type PowerDownConfig struct {
+	Enable     bool
+	IdleCycles int // idle threshold before entering power-down
+	XP         int // exit latency in DRAM cycles
+}
+
+// Config parameterizes one channel's controller. The defaults mirror
+// Table 2: 64-entry queues, write-drain watermarks 60/50, FR-FCFS with an
+// open-page policy.
+type Config struct {
+	DRAM       dram.Config
+	ReadQueue  int
+	WriteQueue int
+	DrainHigh  int
+	DrainLow   int
+	PowerDown  PowerDownConfig
+	// Trace receives one line per issued DRAM command when non-nil:
+	// "<cycle> ch<N> <command> [annotation]".
+	Trace io.Writer
+}
+
+// DefaultConfig returns the Table 2 controller parameters over the given
+// device config.
+func DefaultConfig(d dram.Config) Config {
+	return Config{DRAM: d, ReadQueue: 64, WriteQueue: 64, DrainHigh: 60, DrainLow: 50}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.ReadQueue <= 0 || c.WriteQueue <= 0:
+		return fmt.Errorf("memctrl: queue sizes %d/%d", c.ReadQueue, c.WriteQueue)
+	case c.DrainHigh > c.WriteQueue || c.DrainLow < 0 || c.DrainLow >= c.DrainHigh:
+		return fmt.Errorf("memctrl: drain watermarks %d/%d with queue %d", c.DrainHigh, c.DrainLow, c.WriteQueue)
+	case c.PowerDown.Enable && (c.PowerDown.IdleCycles <= 0 || c.PowerDown.XP <= 0):
+		return fmt.Errorf("memctrl: power-down idle %d / xp %d", c.PowerDown.IdleCycles, c.PowerDown.XP)
+	}
+	return nil
+}
+
+// demandEscalationAge is the queueing age (DRAM cycles) past which the
+// oldest demand read's bank work preempts ready prefetch hits.
+const demandEscalationAge = 96
+
+// rankPD tracks one rank's power-down state.
+type rankPD struct {
+	down      bool
+	idleSince int64 // first cycle of the current idle stretch (-1 = active)
+	wakeAt    int64 // rank unusable until this cycle after a wake-up
+}
+
+// inflightRead tracks a read whose data burst is still in flight.
+type inflightRead struct {
+	req  *Request
+	done int64
+}
+
+// Controller schedules one DRAM channel.
+type Controller struct {
+	cfg    Config
+	ch     *dram.Channel
+	mem    Memory
+	policy Policy
+	phy    Phy
+
+	rq []*Request
+	wq []*Request
+
+	writeMode  bool
+	refDue     []int64
+	refPending []bool
+	pd         []rankPD
+
+	inflight    []inflightRead
+	deferred    []inflightRead     // forwarded/coalesced completions, fired on a later tick
+	activeBurst []dram.BurstWindow // windows not yet past, for busy classification
+
+	stats    *Stats
+	now      int64
+	started  bool
+	banksTmp map[int]bool // scratch per-tick per-bank visited set
+	id       int          // channel index, for trace output
+}
+
+// SetID labels the controller's trace lines with its channel index.
+func (c *Controller) SetID(id int) { c.id = id }
+
+// traceCmd logs one issued command when tracing is enabled.
+func (c *Controller) traceCmd(now int64, cmd dram.Command, extra string) {
+	if c.cfg.Trace == nil {
+		return
+	}
+	if extra != "" {
+		fmt.Fprintf(c.cfg.Trace, "%d ch%d %s %s\n", now, c.id, cmd, extra)
+		return
+	}
+	fmt.Fprintf(c.cfg.Trace, "%d ch%d %s\n", now, c.id, cmd)
+}
+
+// NewController wires a controller over a fresh channel model.
+func NewController(cfg Config, mem Memory, policy Policy, phy Phy) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mem == nil || policy == nil || phy == nil {
+		return nil, fmt.Errorf("memctrl: nil memory, policy, or phy")
+	}
+	ch, err := dram.NewChannel(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg: cfg, ch: ch, mem: mem, policy: policy, phy: phy,
+		refDue:     make([]int64, cfg.DRAM.Geometry.Ranks),
+		refPending: make([]bool, cfg.DRAM.Geometry.Ranks),
+		pd:         make([]rankPD, cfg.DRAM.Geometry.Ranks),
+		stats:      NewStats(),
+		banksTmp:   make(map[int]bool),
+	}
+	for r := range c.pd {
+		c.pd[r].idleSince = -1
+	}
+	// Stagger per-rank refresh so ranks do not refresh in lockstep.
+	step := int64(cfg.DRAM.Timing.REFI) / int64(cfg.DRAM.Geometry.Ranks)
+	for r := range c.refDue {
+		c.refDue[r] = int64(cfg.DRAM.Timing.REFI) - int64(r)*step
+	}
+	return c, nil
+}
+
+// Stats exposes the controller's counters.
+func (c *Controller) Stats() *Stats { return c.stats }
+
+// Channel exposes the underlying device model (read-only use).
+func (c *Controller) Channel() *dram.Channel { return c.ch }
+
+// QueueDepths returns the current read/write queue occupancy.
+func (c *Controller) QueueDepths() (int, int) { return len(c.rq), len(c.wq) }
+
+// Pending reports whether any work remains queued or in flight.
+func (c *Controller) Pending() bool {
+	return len(c.rq) > 0 || len(c.wq) > 0 || len(c.inflight) > 0 || len(c.deferred) > 0
+}
+
+// Enqueue admits a request, returning false when the target queue is full.
+// Reads that hit a queued write are served by forwarding and complete on
+// the next cycle without a DRAM access; writes to an already-queued line
+// coalesce in place.
+func (c *Controller) Enqueue(req *Request, now int64) bool {
+	if req.Write {
+		for _, w := range c.wq {
+			if w.Line == req.Line {
+				w.Data = req.Data // coalesce
+				c.deferred = append(c.deferred, inflightRead{req: req, done: now + 1})
+				return true
+			}
+		}
+		if len(c.wq) >= c.cfg.WriteQueue {
+			return false
+		}
+		req.Arrive = now
+		c.wq = append(c.wq, req)
+		return true
+	}
+	for _, w := range c.wq {
+		if w.Line == req.Line {
+			c.stats.Forwards++
+			// Completion is deferred to the next tick: synchronous
+			// completion inside Enqueue would fire the caller's callback
+			// before the caller has even recorded the request as pending.
+			c.deferred = append(c.deferred, inflightRead{req: req, done: now + 1})
+			return true
+		}
+	}
+	if len(c.rq) >= c.cfg.ReadQueue {
+		return false
+	}
+	// Prefetches are admitted only up to a fixed share of the queue so
+	// they cannot crowd out (or add queueing delay to) demand misses.
+	if !req.Demand {
+		pf := 0
+		for _, r := range c.rq {
+			if !r.Demand {
+				pf++
+			}
+		}
+		if pf >= c.cfg.ReadQueue/4 {
+			return false
+		}
+	}
+	req.Arrive = now
+	c.rq = append(c.rq, req)
+	return true
+}
+
+// Tick advances the controller one DRAM cycle: completes arrived reads,
+// manages refresh, issues at most one command, and classifies the cycle for
+// the Figure 5 statistics. Cycles must be presented monotonically.
+func (c *Controller) Tick(now int64) {
+	if c.started && now <= c.now {
+		panic(fmt.Sprintf("memctrl: tick %d after %d", now, c.now))
+	}
+	c.now = now
+	c.started = true
+
+	c.completeReads(now)
+
+	for r := range c.refDue {
+		if now >= c.refDue[r] {
+			c.refPending[r] = true
+		}
+	}
+	issued := false
+	if c.cfg.PowerDown.Enable {
+		issued = c.powerDownTick(now)
+	}
+	if !issued {
+		issued = c.tryRefresh(now)
+	}
+	if !issued {
+		c.schedule(now)
+	}
+
+	c.classify(now)
+	c.stats.Ticks++
+	c.stats.RQOccupancySum += int64(len(c.rq))
+	c.stats.WQOccupancySum += int64(len(c.wq))
+}
+
+// completeReads retires reads whose data has fully arrived, plus deferred
+// forwarding/coalescing completions.
+func (c *Controller) completeReads(now int64) {
+	kept := c.inflight[:0]
+	for _, f := range c.inflight {
+		if f.done <= now {
+			c.stats.ReadLatencySum += now - f.req.Arrive
+			c.stats.ReadsCompleted++
+			if f.req.Demand {
+				c.stats.DemandLatencySum += now - f.req.Arrive
+				c.stats.DemandReadsCompleted++
+			}
+			f.req.complete(now)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	c.inflight = kept
+
+	keptD := c.deferred[:0]
+	for _, f := range c.deferred {
+		if f.done <= now {
+			f.req.complete(now)
+		} else {
+			keptD = append(keptD, f)
+		}
+	}
+	c.deferred = keptD
+}
+
+// rankBlocked reports whether new activity should avoid a rank because a
+// refresh is trying to drain it or it is powered down / waking up.
+func (c *Controller) rankBlocked(rank int) bool {
+	return c.refPending[rank] || c.pd[rank].down || c.pd[rank].wakeAt > c.now
+}
+
+// powerDownTick advances the power-down state machine: a rank with nothing
+// queued for it starts an idle clock; past the threshold its open rows are
+// precharged (consuming the cycle's command slot) and it enters power-down.
+// Ranks with arriving work pay the tXP wake latency. Returns true if it
+// issued a command this cycle.
+func (c *Controller) powerDownTick(now int64) bool {
+	g := c.cfg.DRAM.Geometry
+	var needed uint32
+	for _, req := range c.rq {
+		needed |= 1 << req.loc.Rank
+	}
+	for _, req := range c.wq {
+		needed |= 1 << req.loc.Rank
+	}
+	for r := range c.pd {
+		pd := &c.pd[r]
+		want := needed>>r&1 == 1 || c.refPending[r]
+		if pd.down {
+			c.stats.PowerDownCycles++
+			if want {
+				pd.down = false
+				pd.wakeAt = now + int64(c.cfg.PowerDown.XP)
+				pd.idleSince = -1
+				c.stats.PowerDownExits++
+			}
+			continue
+		}
+		if pd.wakeAt > now {
+			continue // waking up
+		}
+		if want {
+			pd.idleSince = -1
+			continue
+		}
+		if pd.idleSince < 0 {
+			pd.idleSince = now
+		}
+		if now-pd.idleSince < int64(c.cfg.PowerDown.IdleCycles) {
+			continue
+		}
+		// Idle past the threshold: close any open rows, then power down.
+		for bg := 0; bg < g.BankGroups; bg++ {
+			for b := 0; b < g.BanksPerGroup; b++ {
+				if _, open := c.ch.OpenRow(r, bg, b); !open {
+					continue
+				}
+				cmd := dram.Command{Kind: dram.PRE, Rank: r, Group: bg, Bank: b}
+				if c.ch.EarliestIssue(cmd, now) == now {
+					c.ch.Issue(cmd, now)
+					c.traceCmd(now, cmd, "powerdown")
+					c.stats.Precharges++
+					return true
+				}
+				return false // constraint-bound; try again next cycle
+			}
+		}
+		pd.down = true
+		c.stats.PowerDownCycles++
+	}
+	return false
+}
+
+// tryRefresh makes progress on pending refreshes: precharging open banks of
+// the refreshing rank, then issuing REF. Returns true if it consumed the
+// cycle's command slot.
+func (c *Controller) tryRefresh(now int64) bool {
+	g := c.cfg.DRAM.Geometry
+	for r := range c.refPending {
+		if !c.refPending[r] {
+			continue
+		}
+		if c.pd[r].down || c.pd[r].wakeAt > now {
+			continue // the power-down logic is waking the rank first
+		}
+		allClosed := true
+		for bg := 0; bg < g.BankGroups; bg++ {
+			for b := 0; b < g.BanksPerGroup; b++ {
+				if _, open := c.ch.OpenRow(r, bg, b); !open {
+					continue
+				}
+				allClosed = false
+				cmd := dram.Command{Kind: dram.PRE, Rank: r, Group: bg, Bank: b}
+				if c.ch.EarliestIssue(cmd, now) == now {
+					c.ch.Issue(cmd, now)
+					c.traceCmd(now, cmd, "refresh-drain")
+					c.stats.Precharges++
+					return true
+				}
+			}
+		}
+		if allClosed {
+			cmd := dram.Command{Kind: dram.REF, Rank: r}
+			if c.ch.EarliestIssue(cmd, now) == now {
+				c.ch.Issue(cmd, now)
+				c.traceCmd(now, cmd, "")
+				c.stats.Refreshes++
+				c.refPending[r] = false
+				c.refDue[r] += int64(c.cfg.DRAM.Timing.REFI)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// schedule runs FR-FCFS over the active queue and issues at most one
+// command.
+func (c *Controller) schedule(now int64) {
+	// Write-drain mode transitions (Section 4.6, Table 2 watermarks).
+	if len(c.wq) >= c.cfg.DrainHigh {
+		c.writeMode = true
+	} else if c.writeMode && len(c.wq) <= c.cfg.DrainLow {
+		c.writeMode = false
+	}
+	active, write := c.rq, false
+	if c.writeMode || (len(c.rq) == 0 && len(c.wq) > 0) {
+		active, write = c.wq, true
+	}
+	if len(active) == 0 {
+		return
+	}
+
+	if write {
+		if c.readyHitPass(active, true, now, nil) {
+			return
+		}
+		c.fcfsPass(active, now, nil)
+		return
+	}
+	// Demand reads outrank prefetches. Normally prefetch row hits may still
+	// slip in ahead of demand ACT/PRE work (they keep the streams timely),
+	// but once any demand has aged past the escalation threshold, demand
+	// bank work preempts them - otherwise an endless supply of ready
+	// prefetch hits can starve the misses cores are actually blocked on.
+	demand := func(r *Request) bool { return r.Demand }
+	prefetch := func(r *Request) bool { return !r.Demand }
+	demandFirst := false
+	for _, r := range active {
+		if r.Demand {
+			demandFirst = now-r.Arrive > demandEscalationAge
+			break
+		}
+	}
+	if c.readyHitPass(active, false, now, demand) {
+		return
+	}
+	if demandFirst {
+		if c.fcfsPass(active, now, demand) {
+			return
+		}
+		if c.readyHitPass(active, false, now, prefetch) {
+			return
+		}
+	} else {
+		if c.readyHitPass(active, false, now, prefetch) {
+			return
+		}
+		if c.fcfsPass(active, now, demand) {
+			return
+		}
+	}
+	c.fcfsPass(active, now, prefetch)
+}
+
+// readyHitPass issues the oldest matching column command whose row is open
+// and whose constraints are met right now. keep filters candidates (nil
+// accepts all).
+func (c *Controller) readyHitPass(active []*Request, write bool, now int64, keep func(*Request) bool) bool {
+	for i, req := range active {
+		if keep != nil && !keep(req) {
+			continue
+		}
+		if c.rankBlocked(req.loc.Rank) {
+			continue
+		}
+		if row, open := c.ch.OpenRow(req.loc.Rank, req.loc.Group, req.loc.Bank); open && row == req.loc.Row {
+			if c.ch.EarliestIssue(c.probeCAS(req, write), now) == now {
+				c.issueColumn(req, i, write, now)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fcfsPass walks oldest-first issuing the ACT or PRE the request needs, at
+// most one action per bank so a younger conflict cannot close a row an
+// older request still needs.
+func (c *Controller) fcfsPass(active []*Request, now int64, keep func(*Request) bool) bool {
+	for k := range c.banksTmp {
+		delete(c.banksTmp, k)
+	}
+	for _, req := range active {
+		if keep != nil && !keep(req) {
+			continue
+		}
+		bankID := (req.loc.Rank*c.cfg.DRAM.Geometry.BankGroups+req.loc.Group)*c.cfg.DRAM.Geometry.BanksPerGroup + req.loc.Bank
+		if c.banksTmp[bankID] {
+			continue
+		}
+		c.banksTmp[bankID] = true
+		if c.rankBlocked(req.loc.Rank) {
+			continue
+		}
+		row, open := c.ch.OpenRow(req.loc.Rank, req.loc.Group, req.loc.Bank)
+		switch {
+		case open && row == req.loc.Row:
+			// A hit that was not ready in the first pass; nothing to do.
+		case open:
+			cmd := dram.Command{Kind: dram.PRE, Rank: req.loc.Rank, Group: req.loc.Group, Bank: req.loc.Bank}
+			if c.ch.EarliestIssue(cmd, now) == now {
+				c.ch.Issue(cmd, now)
+				c.traceCmd(now, cmd, "")
+				c.stats.Precharges++
+				return true
+			}
+		default:
+			cmd := dram.Command{Kind: dram.ACT, Rank: req.loc.Rank, Group: req.loc.Group, Bank: req.loc.Bank, Row: req.loc.Row}
+			if c.ch.EarliestIssue(cmd, now) == now {
+				c.ch.Issue(cmd, now)
+				c.traceCmd(now, cmd, "")
+				c.stats.Activates++
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// probeCAS builds the baseline-shaped column command used for readiness
+// checks. Extra codec latency can only relax the issue time (the data slot
+// moves later), so a probe that is ready implies the coded command is too.
+func (c *Controller) probeCAS(req *Request, write bool) dram.Command {
+	kind := dram.RD
+	if write {
+		kind = dram.WR
+	}
+	return dram.Command{
+		Kind: kind, Rank: req.loc.Rank, Group: req.loc.Group,
+		Bank: req.loc.Bank, Row: req.loc.Row, Beats: 8,
+	}
+}
+
+// lookahead implements Lookahead over the controller's live queue state.
+type lookahead struct {
+	c   *Controller
+	now int64
+}
+
+// ColumnReadyWithin implements Lookahead: it counts queued reads and writes
+// whose row is already open and whose constraints resolve within x cycles,
+// including the command being scheduled (Section 5.1's rdyX comparators).
+func (l lookahead) ColumnReadyWithin(x int) int {
+	n := 0
+	scan := func(reqs []*Request, write bool) {
+		for _, req := range reqs {
+			row, open := l.c.ch.OpenRow(req.loc.Rank, req.loc.Group, req.loc.Bank)
+			if !open || row != req.loc.Row {
+				continue
+			}
+			if l.c.ch.EarliestIssue(l.c.probeCAS(req, write), l.now) <= l.now+int64(x) {
+				n++
+			}
+		}
+	}
+	scan(l.c.rq, false)
+	scan(l.c.wq, true)
+	return n
+}
+
+// issueColumn runs the coding decision, issues the column command, moves
+// the data, and records all statistics. idx is the request's position in
+// the active queue.
+func (c *Controller) issueColumn(req *Request, idx int, write bool, now int64) {
+	var dataPtr *bitblock.Block
+	if write {
+		dataPtr = &req.Data
+	}
+	codec := c.policy.Choose(write, dataPtr, lookahead{c: c, now: now})
+
+	kind := dram.RD
+	if write {
+		kind = dram.WR
+	}
+	cmd := dram.Command{
+		Kind: kind, Rank: req.loc.Rank, Group: req.loc.Group, Bank: req.loc.Bank,
+		Row: req.loc.Row, Beats: codec.Beats(), ExtraCAS: codec.ExtraLatency(),
+	}
+	info := c.ch.Issue(cmd, now)
+
+	var blk bitblock.Block
+	if write {
+		blk = req.Data
+		c.mem.WriteLine(req.Line, blk)
+	} else {
+		blk = c.mem.ReadLine(req.Line)
+	}
+	res := c.phy.Transmit(codec, &blk)
+	c.traceCmd(now, cmd, fmt.Sprintf("codec=%s zeros=%d", codec.Name(), res.Zeros))
+
+	c.stats.Zeros += int64(res.Zeros)
+	c.stats.CostUnits += int64(res.CostUnits)
+	c.stats.BurstBeats += int64(res.Beats)
+	c.stats.BusyCycles += info.Window.Cycles()
+	c.stats.CodecBursts[codec.Name()]++
+	if info.PrevEnd >= 0 {
+		gap := info.Window.Start - info.PrevEnd
+		c.stats.GapHist.Add(gap)
+		c.stats.GapPairs++
+		if gap == 0 {
+			c.stats.BackToBack++
+		}
+		slack := info.Window.Start - (info.PrevEnd + info.Anchor)
+		if slack < 0 {
+			slack = 0
+		}
+		c.stats.SlackHist.Add(slack)
+	}
+
+	if write {
+		c.stats.Writes++
+		c.wq = removeAt(c.wq, idx)
+		req.complete(now)
+	} else {
+		c.stats.Reads++
+		if req.Demand {
+			c.stats.DemandReads++
+		}
+		c.rq = removeAt(c.rq, idx)
+		c.inflight = append(c.inflight, inflightRead{req: req, done: info.Window.End})
+	}
+	c.activeBurst = append(c.activeBurst, info.Window)
+}
+
+// classify attributes the cycle to busy / idle-with-pending / idle-empty
+// for the Figure 5 breakdown.
+func (c *Controller) classify(now int64) {
+	busy := false
+	kept := c.activeBurst[:0]
+	for _, w := range c.activeBurst {
+		if w.End <= now {
+			continue
+		}
+		kept = append(kept, w)
+		if w.Start <= now {
+			busy = true
+		}
+	}
+	c.activeBurst = kept
+	switch {
+	case busy:
+		// counted via BurstBeats/BusyCycles already; nothing extra here
+	case len(c.rq)+len(c.wq) > 0:
+		c.stats.IdlePendingCycles++
+	default:
+		c.stats.IdleEmptyCycles++
+	}
+}
+
+// removeAt deletes element i preserving order (FCFS age order matters).
+func removeAt(reqs []*Request, i int) []*Request {
+	copy(reqs[i:], reqs[i+1:])
+	return reqs[:len(reqs)-1]
+}

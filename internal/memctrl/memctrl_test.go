@@ -1,0 +1,625 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+
+	"mil/internal/bitblock"
+	"mil/internal/code"
+	"mil/internal/dram"
+)
+
+// testController builds a DDR4 controller with the DBI baseline and a
+// verifying POD phy.
+func testController(t *testing.T) *Controller {
+	t.Helper()
+	mem := NewOverlayMemory(func(line int64) bitblock.Block {
+		var blk bitblock.Block
+		rng := rand.New(rand.NewSource(line))
+		rng.Read(blk[:])
+		return blk
+	})
+	c, err := NewController(DefaultConfig(dram.DDR4_3200()), mem, FixedPolicy{Codec: code.DBI{}}, &PODPhy{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// runUntilDrained ticks until no work remains or the deadline passes.
+func runUntilDrained(t *testing.T, c *Controller, start, deadline int64) int64 {
+	t.Helper()
+	now := start
+	for ; c.Pending() && now < deadline; now++ {
+		c.Tick(now)
+	}
+	if c.Pending() {
+		t.Fatalf("controller did not drain by cycle %d", deadline)
+	}
+	return now
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig(dram.DDR4_3200())
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.ReadQueue = 0
+	if bad.Validate() == nil {
+		t.Error("zero read queue accepted")
+	}
+	bad = cfg
+	bad.DrainLow = bad.DrainHigh
+	if bad.Validate() == nil {
+		t.Error("low >= high watermark accepted")
+	}
+	bad = cfg
+	bad.DrainHigh = bad.WriteQueue + 1
+	if bad.Validate() == nil {
+		t.Error("high watermark above queue size accepted")
+	}
+}
+
+func TestAddressMapperPageInterleaving(t *testing.T) {
+	g := dram.DDR4_3200().Geometry
+	m, err := NewAddressMapper(2, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpp := int64(g.LinesPerPage())
+	// Lines within one page share everything but the column.
+	a, b := m.Map(0), m.Map(lpp-1)
+	if a.Channel != b.Channel || a.Rank != b.Rank || a.Bank != b.Bank || a.Row != b.Row || a.Group != b.Group {
+		t.Fatalf("same-page lines split: %+v vs %+v", a, b)
+	}
+	if a.Col != 0 || b.Col != int(lpp-1) {
+		t.Fatalf("columns %d/%d", a.Col, b.Col)
+	}
+	// Adjacent pages alternate channels.
+	cNext := m.Map(lpp)
+	if cNext.Channel == a.Channel {
+		t.Fatal("adjacent pages on same channel")
+	}
+	// Pages two apart (same channel) rotate bank groups.
+	gNext := m.Map(2 * lpp)
+	if gNext.Channel != a.Channel {
+		t.Fatal("stride-2 pages should share the channel")
+	}
+	if gNext.Group == a.Group && g.BankGroups > 1 {
+		t.Fatal("stride-2 pages should rotate bank groups")
+	}
+}
+
+func TestAddressMapperCoversAllResources(t *testing.T) {
+	g := dram.DDR4_3200().Geometry
+	m, err := NewAddressMapper(2, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[4]int]bool{}
+	lpp := int64(g.LinesPerPage())
+	for p := int64(0); p < 64; p++ {
+		loc := m.Map(p * lpp)
+		seen[[4]int{loc.Channel, loc.Rank, loc.Group, loc.Bank}] = true
+	}
+	want := 2 * g.Ranks * g.BankGroups * g.BanksPerGroup
+	if len(seen) != want {
+		t.Fatalf("64 consecutive pages hit %d distinct banks, want %d", len(seen), want)
+	}
+}
+
+func TestOverlayMemoryReadsBackWrites(t *testing.T) {
+	mem := NewOverlayMemory(func(line int64) bitblock.Block {
+		return bitblock.FromBytes([]byte{byte(line)})
+	})
+	if got := mem.ReadLine(7); got[0] != 7 {
+		t.Fatalf("generator bypassed: %d", got[0])
+	}
+	blk := bitblock.FromBytes([]byte{0xaa, 0xbb})
+	mem.WriteLine(7, blk)
+	if got := mem.ReadLine(7); got != blk {
+		t.Fatal("write not visible")
+	}
+	if mem.WrittenLines() != 1 {
+		t.Fatalf("overlay size %d", mem.WrittenLines())
+	}
+	if got := mem.ReadLine(8); got[0] != 8 {
+		t.Fatal("neighboring line disturbed")
+	}
+}
+
+func TestOverlayMemoryNilGenerator(t *testing.T) {
+	mem := NewOverlayMemory(nil)
+	if got := mem.ReadLine(3); got != (bitblock.Block{}) {
+		t.Fatal("nil generator should yield zero blocks")
+	}
+}
+
+func TestSingleReadCompletes(t *testing.T) {
+	c := testController(t)
+	doneAt := int64(-1)
+	req := &Request{Line: 5, OnDone: func(now int64) { doneAt = now }}
+	req.loc = mustMap(t, 5)
+	if !c.Enqueue(req, 0) {
+		t.Fatal("enqueue failed")
+	}
+	runUntilDrained(t, c, 0, 10000)
+	tm := dram.DDR4_3200().Timing
+	// ACT at 0, RD at tRCD, data ends at tRCD+CL+4; completion on the tick
+	// at or after that.
+	wantMin := int64(tm.RCD + tm.CL + 4)
+	if doneAt < wantMin || doneAt > wantMin+2 {
+		t.Fatalf("read done at %d, want about %d", doneAt, wantMin)
+	}
+	s := c.Stats()
+	if s.Reads != 1 || s.Activates != 1 {
+		t.Fatalf("reads=%d acts=%d", s.Reads, s.Activates)
+	}
+	if s.Zeros == 0 {
+		t.Fatal("no zeros accounted")
+	}
+}
+
+func mustMap(t *testing.T, line int64) Location {
+	t.Helper()
+	m, err := NewAddressMapper(1, dram.DDR4_3200().Geometry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Map(line)
+}
+
+func TestSameGroupStreamLeavesCCDBubbles(t *testing.T) {
+	// Eight hits to one row: tCCD_L (8) exceeds the 4-cycle BL8 burst, so
+	// the bus shows 4-cycle gaps - the bank-group under-utilization the
+	// paper builds on (Section 3.1).
+	c := testController(t)
+	done := 0
+	for i := int64(0); i < 8; i++ {
+		req := &Request{Line: i, OnDone: func(int64) { done++ }}
+		req.loc = mustMap(t, i)
+		if !c.Enqueue(req, 0) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	runUntilDrained(t, c, 0, 10000)
+	s := c.Stats()
+	if done != 8 || s.Reads != 8 {
+		t.Fatalf("done=%d reads=%d", done, s.Reads)
+	}
+	if s.Activates != 1 {
+		t.Fatalf("activates = %d, want 1 (all row hits)", s.Activates)
+	}
+	if s.BackToBack != 0 {
+		t.Fatal("same-group CCD_L should forbid back-to-back bursts")
+	}
+	// All 7 gaps land in the 3-4 cycle bucket (CCD_L - burst = 4).
+	if got := s.GapHist.Counts[2]; got != 7 {
+		t.Fatalf("gap histogram = %v, want 7 samples of 4 cycles", s.GapHist.Counts)
+	}
+}
+
+func TestGroupRotationStreamsBackToBack(t *testing.T) {
+	// Hits spread across bank groups are only tCCD_S (4) apart, which
+	// matches the BL8 occupancy: the bus can run seamlessly.
+	c := testController(t)
+	geom := dram.DDR4_3200().Geometry
+	lpp := int64(geom.LinesPerPage())
+	for i := int64(0); i < 4; i++ {
+		for p := int64(0); p < 4; p++ { // pages 0..3 rotate the 4 groups
+			line := p*lpp + i
+			req := &Request{Line: line}
+			req.loc = mustMap(t, line)
+			if !c.Enqueue(req, 0) {
+				t.Fatal("enqueue failed")
+			}
+		}
+	}
+	runUntilDrained(t, c, 0, 10000)
+	s := c.Stats()
+	if s.Reads != 16 || s.Activates != 4 {
+		t.Fatalf("reads=%d acts=%d", s.Reads, s.Activates)
+	}
+	if s.BackToBack == 0 {
+		t.Fatal("group-rotating stream produced no back-to-back bursts")
+	}
+}
+
+func TestRowConflictForcesPrechargeActivate(t *testing.T) {
+	c := testController(t)
+	g := dram.DDR4_3200().Geometry
+	// Two lines in the same bank, different rows: stride = one full sweep
+	// of channels x groups x banks x ranks pages.
+	stride := int64(g.LinesPerPage()) * int64(g.BankGroups*g.BanksPerGroup*g.Ranks)
+	for _, line := range []int64{0, stride} {
+		req := &Request{Line: line}
+		req.loc = mustMap(t, line)
+		a, b := mustMap(t, 0), mustMap(t, stride)
+		if a.Bank != b.Bank || a.Group != b.Group || a.Rank != b.Rank || a.Row == b.Row {
+			t.Fatalf("stride does not produce a row conflict: %+v vs %+v", a, b)
+		}
+		if !c.Enqueue(req, 0) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	runUntilDrained(t, c, 0, 20000)
+	s := c.Stats()
+	if s.Activates != 2 || s.Precharges != 1 {
+		t.Fatalf("acts=%d pres=%d, want 2/1", s.Activates, s.Precharges)
+	}
+}
+
+func TestWriteDrainWatermarks(t *testing.T) {
+	cfg := DefaultConfig(dram.DDR4_3200())
+	cfg.DrainHigh = 8
+	cfg.DrainLow = 4
+	mem := NewOverlayMemory(nil)
+	c, err := NewController(cfg, mem, FixedPolicy{Codec: code.DBI{}}, &PODPhy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One read plus enough writes to cross the high watermark: the drain
+	// must kick in even while the read is pending, then hand back.
+	read := &Request{Line: 999}
+	read.loc = mustMap(t, 999)
+	if !c.Enqueue(read, 0) {
+		t.Fatal("read enqueue")
+	}
+	for i := int64(0); i < 9; i++ {
+		w := &Request{Line: i * 128, Write: true}
+		w.loc = mustMap(t, i*128)
+		if !c.Enqueue(w, 0) {
+			t.Fatal("write enqueue")
+		}
+	}
+	runUntilDrained(t, c, 0, 100000)
+	s := c.Stats()
+	if s.Writes != 9 || s.Reads != 1 {
+		t.Fatalf("writes=%d reads=%d", s.Writes, s.Reads)
+	}
+}
+
+func TestWritesDrainWhenReadQueueEmpty(t *testing.T) {
+	c := testController(t)
+	w := &Request{Line: 3, Write: true, Data: bitblock.FromBytes([]byte{1})}
+	w.loc = mustMap(t, 3)
+	if !c.Enqueue(w, 0) {
+		t.Fatal("enqueue failed")
+	}
+	runUntilDrained(t, c, 0, 10000)
+	if c.Stats().Writes != 1 {
+		t.Fatal("lone write never drained")
+	}
+}
+
+func TestReadForwardsFromWriteQueue(t *testing.T) {
+	c := testController(t)
+	blk := bitblock.FromBytes([]byte{0xde, 0xad})
+	w := &Request{Line: 42, Write: true, Data: blk}
+	w.loc = mustMap(t, 42)
+	if !c.Enqueue(w, 0) {
+		t.Fatal("write enqueue")
+	}
+	got := false
+	r := &Request{Line: 42, OnDone: func(int64) { got = true }}
+	r.loc = mustMap(t, 42)
+	if !c.Enqueue(r, 0) {
+		t.Fatal("read enqueue")
+	}
+	if got {
+		t.Fatal("forwarding completed synchronously; must defer to a tick")
+	}
+	c.Tick(1)
+	if !got {
+		t.Fatal("read not forwarded from write queue")
+	}
+	if c.Stats().Forwards != 1 {
+		t.Fatalf("forwards = %d", c.Stats().Forwards)
+	}
+}
+
+func TestWriteCoalescing(t *testing.T) {
+	c := testController(t)
+	w1 := &Request{Line: 42, Write: true, Data: bitblock.FromBytes([]byte{1})}
+	w1.loc = mustMap(t, 42)
+	w2 := &Request{Line: 42, Write: true, Data: bitblock.FromBytes([]byte{2})}
+	w2.loc = mustMap(t, 42)
+	if !c.Enqueue(w1, 0) || !c.Enqueue(w2, 0) {
+		t.Fatal("enqueue failed")
+	}
+	if _, wq := c.QueueDepths(); wq != 1 {
+		t.Fatalf("write queue depth %d, want 1 after coalescing", wq)
+	}
+	runUntilDrained(t, c, 0, 10000)
+	// The coalesced (newer) data must have landed in memory.
+	if got := c.mem.ReadLine(42); got[0] != 2 {
+		t.Fatalf("memory holds %d, want coalesced 2", got[0])
+	}
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	cfg := DefaultConfig(dram.DDR4_3200())
+	cfg.ReadQueue = 2
+	mem := NewOverlayMemory(nil)
+	c, err := NewController(cfg, mem, FixedPolicy{Codec: code.DBI{}}, &PODPhy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 2; i++ {
+		r := &Request{Line: i * 1000, Demand: true}
+		r.loc = mustMap(t, i*1000)
+		if !c.Enqueue(r, 0) {
+			t.Fatal("enqueue failed early")
+		}
+	}
+	r := &Request{Line: 5000}
+	r.loc = mustMap(t, 5000)
+	if c.Enqueue(r, 0) {
+		t.Fatal("enqueue succeeded past capacity")
+	}
+}
+
+func TestRefreshHappens(t *testing.T) {
+	c := testController(t)
+	tm := dram.DDR4_3200().Timing
+	for now := int64(0); now < int64(tm.REFI)*3; now++ {
+		c.Tick(now)
+	}
+	s := c.Stats()
+	if s.Refreshes < 4 { // 2 ranks x at least 2 intervals
+		t.Fatalf("refreshes = %d, want >= 4 over 3 tREFI", s.Refreshes)
+	}
+	if s.IdleEmptyCycles == 0 {
+		t.Fatal("an idle controller should log idle-empty cycles")
+	}
+}
+
+func TestRefreshClosesOpenBanks(t *testing.T) {
+	c := testController(t)
+	req := &Request{Line: 0}
+	req.loc = mustMap(t, 0)
+	if !c.Enqueue(req, 0) {
+		t.Fatal("enqueue")
+	}
+	tm := dram.DDR4_3200().Timing
+	for now := int64(0); now < int64(tm.REFI)*2; now++ {
+		c.Tick(now)
+	}
+	s := c.Stats()
+	if s.Refreshes == 0 {
+		t.Fatal("no refresh despite an opened bank")
+	}
+	if s.Precharges == 0 {
+		t.Fatal("refresh never precharged the open bank")
+	}
+}
+
+func TestCycleClassificationPartitions(t *testing.T) {
+	c := testController(t)
+	for i := int64(0); i < 20; i++ {
+		req := &Request{Line: i * 7}
+		req.loc = mustMap(t, i*7)
+		c.Enqueue(req, 0)
+	}
+	end := runUntilDrained(t, c, 0, 50000)
+	s := c.Stats()
+	if s.Ticks != end {
+		t.Fatalf("ticks = %d, want %d", s.Ticks, end)
+	}
+	sum := s.BusyCycles + s.IdlePendingCycles + s.IdleEmptyCycles
+	// Busy cycles for the final bursts may extend past the last tick.
+	if sum < s.Ticks-10 || sum > s.Ticks+10 {
+		t.Fatalf("classification sum %d vs ticks %d", sum, s.Ticks)
+	}
+	if s.IdlePendingCycles == 0 {
+		t.Fatal("a bursty queue should produce idle-with-pending cycles")
+	}
+}
+
+func TestLookaheadCountsReadyColumns(t *testing.T) {
+	c := testController(t)
+	// Open a row by running one request through, then queue two hits.
+	warm := &Request{Line: 0}
+	warm.loc = mustMap(t, 0)
+	c.Enqueue(warm, 0)
+	now := int64(0)
+	for ; c.Pending(); now++ {
+		c.Tick(now)
+	}
+	for i := int64(1); i <= 2; i++ {
+		req := &Request{Line: i}
+		req.loc = mustMap(t, i)
+		c.Enqueue(req, now)
+	}
+	la := lookahead{c: c, now: now}
+	if got := la.ColumnReadyWithin(8); got != 2 {
+		t.Fatalf("ready within 8 = %d, want 2 row hits", got)
+	}
+	if got := la.ColumnReadyWithin(0); got != 2 {
+		t.Fatalf("ready now = %d, want 2", got)
+	}
+}
+
+func TestMonotonicTickPanics(t *testing.T) {
+	c := testController(t)
+	c.Tick(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-monotonic tick")
+		}
+	}()
+	c.Tick(5)
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 2, 4)
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, 100} {
+		h.Add(v)
+	}
+	want := []int64{1, 2, 2, 2}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	fr := h.Fractions()
+	if fr[0] < 0.14 || fr[0] > 0.15 {
+		t.Fatalf("fraction[0] = %v", fr[0])
+	}
+	labels := h.Labels()
+	if labels[0] != "0" || labels[1] != "1-2" || labels[3] != ">4" {
+		t.Fatalf("labels = %v", labels)
+	}
+	h2 := NewHistogram(0, 2, 4)
+	h2.Add(1)
+	h.Merge(h2)
+	if h.Total() != 8 {
+		t.Fatal("merge failed")
+	}
+}
+
+func TestStatsMergeAndDerived(t *testing.T) {
+	a, b := NewStats(), NewStats()
+	a.Reads, b.Reads = 3, 4
+	a.BusyCycles, a.Ticks = 50, 100
+	b.BusyCycles, b.Ticks = 25, 100
+	a.CodecBursts["milc"] = 2
+	b.CodecBursts["milc"] = 3
+	b.CodecBursts["lwc3"] = 1
+	a.ReadLatencySum, a.ReadsCompleted = 300, 3
+	a.Merge(b)
+	if a.Reads != 7 || a.CodecBursts["milc"] != 5 || a.CodecBursts["lwc3"] != 1 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+	if u := a.BusUtilization(); u < 0.374 || u > 0.376 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if l := a.AvgReadLatency(); l != 100 {
+		t.Fatalf("avg latency = %v", l)
+	}
+	if a.ColumnCommands() != 7 {
+		t.Fatalf("column commands = %d", a.ColumnCommands())
+	}
+}
+
+func TestSystemRoutesAcrossChannels(t *testing.T) {
+	mem := NewOverlayMemory(nil)
+	sys, err := NewSystem(SystemConfig{
+		Channels:   2,
+		Controller: DefaultConfig(dram.DDR4_3200()),
+		Policy:     FixedPolicy{Codec: code.DBI{}},
+		NewPhy:     func() Phy { return &PODPhy{} },
+		Mem:        mem,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom := dram.DDR4_3200().Geometry
+	lpp := int64(geom.LinesPerPage())
+	done := 0
+	for p := int64(0); p < 4; p++ {
+		req := &Request{Line: p * lpp, OnDone: func(int64) { done++ }}
+		if !sys.Enqueue(req, 0) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	for now := int64(0); sys.Pending() && now < 10000; now++ {
+		sys.Tick(now)
+	}
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+	s := sys.Stats()
+	if s.Reads != 4 {
+		t.Fatalf("aggregate reads = %d", s.Reads)
+	}
+	// Both channels must have seen work.
+	if sys.Controller(0).Stats().Reads == 0 || sys.Controller(1).Stats().Reads == 0 {
+		t.Fatal("page interleaving failed to spread work")
+	}
+}
+
+func TestSystemConfigValidation(t *testing.T) {
+	_, err := NewSystem(SystemConfig{Channels: 0})
+	if err == nil {
+		t.Error("zero channels accepted")
+	}
+	_, err = NewSystem(SystemConfig{
+		Channels:   1,
+		Controller: DefaultConfig(dram.DDR4_3200()),
+		Policy:     FixedPolicy{Codec: code.DBI{}},
+		Mem:        NewOverlayMemory(nil),
+	})
+	if err == nil {
+		t.Error("nil phy factory accepted")
+	}
+}
+
+func TestPhyAccounting(t *testing.T) {
+	blk := bitblock.FromBytes([]byte{0x00, 0xff, 0x0f})
+	pod := &PODPhy{Verify: true}
+	res := pod.Transmit(code.DBI{}, &blk)
+	if res.CostUnits != res.Zeros || res.Beats != 8 {
+		t.Fatalf("POD result %+v", res)
+	}
+	tr := &TransitionPhy{Verify: true}
+	res2 := tr.Transmit(code.MiLC{}, &blk)
+	if res2.CostUnits != res2.Zeros || res2.Beats != 10 {
+		t.Fatalf("transition result %+v", res2)
+	}
+	bi := &BIWirePhy{Verify: true}
+	res3 := bi.Transmit(code.Raw{}, &blk)
+	if res3.Beats != 8 {
+		t.Fatalf("BI beats %d", res3.Beats)
+	}
+	// First burst from an all-low bus: toggles should be modest since BI
+	// inverts heavy bytes.
+	if res3.CostUnits <= 0 {
+		t.Fatalf("BI cost %d", res3.CostUnits)
+	}
+}
+
+func TestFixedPolicyChoice(t *testing.T) {
+	p := FixedPolicy{Codec: code.MiLC{}}
+	if p.Name() != "milc" {
+		t.Fatalf("name %q", p.Name())
+	}
+	if got := p.Choose(false, nil, nil); got.Name() != "milc" {
+		t.Fatalf("choice %q", got.Name())
+	}
+}
+
+func TestVerifyingPhyCatchesDataPathEndToEnd(t *testing.T) {
+	// Run a workload with random data through a verifying MiLC controller;
+	// any encode/decode divergence panics inside the phy.
+	mem := NewOverlayMemory(func(line int64) bitblock.Block {
+		var blk bitblock.Block
+		rng := rand.New(rand.NewSource(line * 31))
+		rng.Read(blk[:])
+		return blk
+	})
+	c, err := NewController(DefaultConfig(dram.DDR4_3200()), mem, FixedPolicy{Codec: code.MiLC{}}, &PODPhy{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 50; i++ {
+		line := int64(rng.Intn(1 << 20))
+		req := &Request{Line: line, Write: rng.Intn(2) == 0}
+		if req.Write {
+			rng.Read(req.Data[:])
+		}
+		req.loc = mustMap(t, line)
+		if !c.Enqueue(req, 0) {
+			break
+		}
+	}
+	runUntilDrained(t, c, 0, 100000)
+	if c.Stats().ColumnCommands() == 0 {
+		t.Fatal("no commands issued")
+	}
+}

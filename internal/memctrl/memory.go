@@ -1,0 +1,55 @@
+// Package memctrl implements the memory controller of Table 2: per-channel
+// FR-FCFS scheduling with an open-page policy, 64-entry read and write
+// queues, write-drain mode with high/low watermarks, refresh management,
+// and the bus-transaction bookkeeping behind Figures 4-6. Coding decisions
+// are delegated to a Policy (the MiL decision logic lives in package
+// milcore) and IO-cost accounting to a Phy, so the same controller runs the
+// DBI baseline, MiLC-only, CAFO, fixed-burst-length, and MiL configurations
+// on both DDR4 and LPDDR3.
+package memctrl
+
+import "mil/internal/bitblock"
+
+// Memory is the data content behind the DRAM devices. The controller reads
+// it to know the bits a read burst carries (IO energy depends on the data)
+// and updates it on writes. Implementations are deterministic value models
+// (package workload) with a write overlay.
+type Memory interface {
+	// ReadLine returns the 64-byte block at cache-line index line.
+	ReadLine(line int64) bitblock.Block
+	// WriteLine stores a block at cache-line index line.
+	WriteLine(line int64, blk bitblock.Block)
+}
+
+// OverlayMemory is a Memory whose initial contents come from a deterministic
+// generator, with written lines kept in a sparse overlay. It lets value
+// models stay stateless while writes remain visible to later reads.
+type OverlayMemory struct {
+	gen     func(line int64) bitblock.Block
+	written map[int64]bitblock.Block
+}
+
+// NewOverlayMemory wraps a content generator. A nil generator yields
+// all-zero lines.
+func NewOverlayMemory(gen func(line int64) bitblock.Block) *OverlayMemory {
+	if gen == nil {
+		gen = func(int64) bitblock.Block { return bitblock.Block{} }
+	}
+	return &OverlayMemory{gen: gen, written: make(map[int64]bitblock.Block)}
+}
+
+// ReadLine implements Memory.
+func (m *OverlayMemory) ReadLine(line int64) bitblock.Block {
+	if blk, ok := m.written[line]; ok {
+		return blk
+	}
+	return m.gen(line)
+}
+
+// WriteLine implements Memory.
+func (m *OverlayMemory) WriteLine(line int64, blk bitblock.Block) {
+	m.written[line] = blk
+}
+
+// WrittenLines reports the overlay size, useful in tests.
+func (m *OverlayMemory) WrittenLines() int { return len(m.written) }

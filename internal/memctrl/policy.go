@@ -1,0 +1,123 @@
+package memctrl
+
+import (
+	"mil/internal/bitblock"
+	"mil/internal/code"
+)
+
+// Lookahead is the view the coding decision logic gets of the scheduler
+// state at the moment a column command is picked (Section 5.1): the rdyX
+// comparator outputs. It counts the queued column commands - reads and
+// writes whose bank already holds the right row open - whose timing
+// constraints all resolve within the next x cycles, including the command
+// being scheduled (which is ready now, so the count is at least 1).
+type Lookahead interface {
+	ColumnReadyWithin(x int) int
+}
+
+// Policy chooses the coding scheme for the column command about to issue.
+// data is the block to be transmitted for writes and nil for reads (the
+// controller cannot inspect read data at schedule time, Section 4.6).
+type Policy interface {
+	Name() string
+	Choose(write bool, data *bitblock.Block, la Lookahead) code.Codec
+}
+
+// FixedPolicy always applies one codec: the DBI baseline, the MiLC-only
+// configuration, the CAFO variants, and the fixed-burst-length sensitivity
+// study of Figure 20 are all FixedPolicy instances.
+type FixedPolicy struct {
+	Codec code.Codec
+}
+
+// Name implements Policy.
+func (p FixedPolicy) Name() string { return p.Codec.Name() }
+
+// Choose implements Policy.
+func (p FixedPolicy) Choose(bool, *bitblock.Block, Lookahead) code.Codec { return p.Codec }
+
+// Phy models the IO interface: it encodes a block with the chosen codec,
+// puts it on the wires, and reports what the transfer costs. Zeros is the
+// coded burst's zero count (the quantity Figure 17 reports); CostUnits is
+// what the IO energy is proportional to on this interface (zeros on a
+// VDDQ-terminated POD bus, wire toggles on an unterminated bus); Beats is
+// the burst length consumed.
+type PhyResult struct {
+	Zeros     int
+	CostUnits int
+	Beats     int
+}
+
+// Phy implementations are stateful (the unterminated interface's toggle
+// count depends on previous wire levels) and not safe for concurrent use.
+type Phy interface {
+	Transmit(c code.Codec, blk *bitblock.Block) PhyResult
+}
+
+// PODPhy is the DDR4 pseudo-open-drain interface of Section 2.1.1: only
+// transmitted zeros cost energy, so CostUnits equals the coded burst's zero
+// count.
+type PODPhy struct {
+	// Verify decodes every burst and panics on mismatch; used by
+	// integration tests to prove the data path end to end.
+	Verify bool
+}
+
+// Transmit implements Phy.
+func (p *PODPhy) Transmit(c code.Codec, blk *bitblock.Block) PhyResult {
+	bu := c.Encode(blk)
+	if p.Verify {
+		if got := c.Decode(bu); got != *blk {
+			panic("memctrl: POD phy round-trip mismatch for codec " + c.Name())
+		}
+	}
+	z := bu.CountZeros()
+	return PhyResult{Zeros: z, CostUnits: z, Beats: bu.Beats}
+}
+
+// TransitionPhy is the unterminated LPDDR3 interface driven with the
+// flip-on-zero transition signaling of Sections 4.5/5.3: the wire toggles
+// exactly on coded zeros, so any zero-minimizing codec carries over and
+// CostUnits (toggles) equals Zeros. The wire state is tracked so the
+// Verify path exercises the real signal/recover pair across bursts.
+type TransitionPhy struct {
+	Verify  bool
+	txState bitblock.BusState
+	rxState bitblock.BusState
+}
+
+// Transmit implements Phy.
+func (p *TransitionPhy) Transmit(c code.Codec, blk *bitblock.Block) PhyResult {
+	bu := c.Encode(blk)
+	z := bu.CountZeros()
+	if p.Verify {
+		wire := code.SignalTransitions(bu, &p.txState)
+		back := code.RecoverTransitions(wire, &p.rxState)
+		if got := c.Decode(back); got != *blk {
+			panic("memctrl: transition phy round-trip mismatch for codec " + c.Name())
+		}
+	}
+	return PhyResult{Zeros: z, CostUnits: z, Beats: bu.Beats}
+}
+
+// BIWirePhy is the LPDDR3 baseline of Section 2.1.2: plain bus-invert
+// coding applied directly to the unterminated wires (LPDDR3 has no native
+// coding; BI is the natural predecessor MiL is compared against). The
+// chosen codec only sets the burst timing (the baseline policy picks Raw,
+// BL8); the coding and toggle accounting happen here, statefully.
+type BIWirePhy struct {
+	Verify bool
+	bi     code.BusInvert
+	state  bitblock.BusState
+}
+
+// Transmit implements Phy.
+func (p *BIWirePhy) Transmit(c code.Codec, blk *bitblock.Block) PhyResult {
+	wire, toggles := p.bi.EncodeWire(blk, &p.state)
+	if p.Verify {
+		if got := p.bi.DecodeWire(wire); got != *blk {
+			panic("memctrl: BI phy round-trip mismatch")
+		}
+	}
+	return PhyResult{Zeros: toggles, CostUnits: toggles, Beats: c.Beats()}
+}

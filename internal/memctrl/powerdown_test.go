@@ -1,0 +1,139 @@
+package memctrl
+
+import (
+	"testing"
+
+	"mil/internal/bitblock"
+	"mil/internal/code"
+	"mil/internal/dram"
+)
+
+// pdController builds a controller with the power-down extension on.
+func pdController(t *testing.T, idle, xp int) *Controller {
+	t.Helper()
+	cfg := DefaultConfig(dram.DDR4_3200())
+	cfg.PowerDown = PowerDownConfig{Enable: true, IdleCycles: idle, XP: xp}
+	mem := NewOverlayMemory(nil)
+	c, err := NewController(cfg, mem, FixedPolicy{Codec: code.DBI{}}, &PODPhy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPowerDownConfigValidation(t *testing.T) {
+	cfg := DefaultConfig(dram.DDR4_3200())
+	cfg.PowerDown = PowerDownConfig{Enable: true}
+	if cfg.Validate() == nil {
+		t.Fatal("zero idle/xp accepted")
+	}
+	cfg.PowerDown = PowerDownConfig{Enable: true, IdleCycles: 10, XP: 0}
+	if cfg.Validate() == nil {
+		t.Fatal("zero xp accepted")
+	}
+}
+
+func TestIdleRanksPowerDown(t *testing.T) {
+	c := pdController(t, 16, 10)
+	for now := int64(0); now < 2000; now++ {
+		c.Tick(now)
+	}
+	s := c.Stats()
+	// 2 ranks idle nearly the whole time (minus thresholds and refreshes).
+	if s.PowerDownCycles < 2*1500 {
+		t.Fatalf("power-down cycles = %d, want most of 2x2000", s.PowerDownCycles)
+	}
+}
+
+func TestPowerDownWakeCostsXP(t *testing.T) {
+	c := pdController(t, 16, 10)
+	for now := int64(0); now < 500; now++ {
+		c.Tick(now)
+	}
+	doneAt := int64(-1)
+	req := &Request{Line: 0, Demand: true, OnDone: func(now int64) { doneAt = now }}
+	req.loc = mustMap(t, 0)
+	if !c.Enqueue(req, 500) {
+		t.Fatal("enqueue")
+	}
+	for now := int64(500); c.Pending() && now < 5000; now++ {
+		c.Tick(now)
+	}
+	if doneAt < 0 {
+		t.Fatal("read never completed from a powered-down rank")
+	}
+	tm := dram.DDR4_3200().Timing
+	// Wake (>= XP) + ACT + tRCD + CL + burst.
+	wantMin := int64(10 + tm.RCD + tm.CL + 4)
+	if doneAt-500 < wantMin {
+		t.Fatalf("read completed after %d cycles, want >= %d (tXP charged)", doneAt-500, wantMin)
+	}
+	if c.Stats().PowerDownExits == 0 {
+		t.Fatal("no wake-up recorded")
+	}
+}
+
+func TestPowerDownPrechargesOpenRows(t *testing.T) {
+	c := pdController(t, 16, 10)
+	// Touch a line to open a row, then go idle.
+	req := &Request{Line: 7, Demand: true}
+	req.loc = mustMap(t, 7)
+	if !c.Enqueue(req, 0) {
+		t.Fatal("enqueue")
+	}
+	for now := int64(0); now < 1500; now++ {
+		c.Tick(now)
+	}
+	s := c.Stats()
+	if s.Precharges == 0 {
+		t.Fatal("open row never precharged for power-down")
+	}
+	if s.PowerDownCycles == 0 {
+		t.Fatal("rank never powered down after precharge")
+	}
+}
+
+func TestPowerDownDoesNotBreakRefresh(t *testing.T) {
+	c := pdController(t, 16, 10)
+	tm := dram.DDR4_3200().Timing
+	for now := int64(0); now < int64(tm.REFI)*4; now++ {
+		c.Tick(now)
+	}
+	s := c.Stats()
+	if s.Refreshes < 6 {
+		t.Fatalf("refreshes = %d over 4 tREFI with power-down", s.Refreshes)
+	}
+}
+
+func TestPowerDownCorrectnessUnderTraffic(t *testing.T) {
+	// Random traffic with long gaps: all requests complete, data survives.
+	c := pdController(t, 16, 10)
+	done := 0
+	now := int64(0)
+	for i := 0; i < 40; i++ {
+		line := int64(i * 777)
+		w := &Request{Line: line, Write: true, Demand: true, Data: bitblock.FromBytes([]byte{byte(i)})}
+		w.loc = mustMap(t, line)
+		if !c.Enqueue(w, now) {
+			t.Fatal("write enqueue")
+		}
+		r := &Request{Line: line, Demand: true, OnDone: func(int64) { done++ }}
+		r.loc = mustMap(t, line)
+		if !c.Enqueue(r, now) {
+			t.Fatal("read enqueue")
+		}
+		// Long idle gap so ranks power down between bursts of work.
+		for end := now + 400; now < end; now++ {
+			c.Tick(now)
+		}
+	}
+	for ; c.Pending(); now++ {
+		c.Tick(now)
+	}
+	if done != 40 {
+		t.Fatalf("completed %d reads, want 40", done)
+	}
+	if c.Stats().PowerDownCycles == 0 {
+		t.Fatal("gappy traffic never powered down")
+	}
+}

@@ -1,0 +1,23 @@
+package memctrl
+
+import "mil/internal/bitblock"
+
+// Request is one cache-block transfer demanded of the memory system.
+type Request struct {
+	Line   int64 // cache-line index (byte address >> 6)
+	Write  bool
+	Data   bitblock.Block // payload for writes
+	Arrive int64          // DRAM cycle the request entered the controller
+	Stream int            // originating hardware thread, for statistics
+	Demand bool           // false for prefetches
+	OnDone func(now int64)
+	loc    Location
+	mapped bool // loc computed (requests are re-enqueued on backpressure)
+}
+
+// complete invokes the completion callback, if any.
+func (r *Request) complete(now int64) {
+	if r.OnDone != nil {
+		r.OnDone(now)
+	}
+}

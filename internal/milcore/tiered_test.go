@@ -1,0 +1,94 @@
+package milcore
+
+import (
+	"testing"
+
+	"mil/internal/bitblock"
+	"mil/internal/code"
+)
+
+// windowLookahead reports ready counts as a function of the asked window:
+// commands become ready at the listed distances.
+type windowLookahead struct {
+	readyAt []int // distances at which other column commands become ready
+}
+
+func (w windowLookahead) ColumnReadyWithin(x int) int {
+	n := 1 // the scheduled command itself
+	for _, d := range w.readyAt {
+		if d <= x {
+			n++
+		}
+	}
+	return n
+}
+
+func mustTiered(t *testing.T) *Tiered {
+	t.Helper()
+	p, err := NewTiered(code.LWC3{}, code.Hybrid{}, code.MiLC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewTieredValidation(t *testing.T) {
+	if _, err := NewTiered(code.LWC3{}); err == nil {
+		t.Error("single code accepted")
+	}
+	if _, err := NewTiered(code.MiLC{}, code.LWC3{}); err == nil {
+		t.Error("non-decreasing order accepted")
+	}
+	if _, err := NewTiered(code.LWC3{}, nil); err == nil {
+		t.Error("nil codec accepted")
+	}
+}
+
+func TestTieredPicksWidestThatFits(t *testing.T) {
+	p := mustTiered(t)
+	cases := []struct {
+		readyAt []int
+		want    string
+	}{
+		{nil, "lwc3"},            // empty window: widest code
+		{[]int{20}, "lwc3"},      // next command far beyond BL16's 8 cycles
+		{[]int{8}, "hybrid"},     // within 8 but beyond hybrid's 7
+		{[]int{7}, "milc"},       // within hybrid's window too
+		{[]int{1}, "milc"},       // immediately ready: base code
+		{[]int{8, 20}, "hybrid"}, /* only the 8 matters */
+	}
+	for i, c := range cases {
+		got := p.Choose(false, nil, windowLookahead{readyAt: c.readyAt})
+		if got.Name() != c.want {
+			t.Errorf("case %d (%v): got %s, want %s", i, c.readyAt, got.Name(), c.want)
+		}
+	}
+}
+
+func TestTieredWriteOptimizationRespectsBeatBudget(t *testing.T) {
+	p := mustTiered(t)
+	// Correlated data favors MiLC; with the full window open the policy
+	// may pick any code no longer than the widest allowed, and must land
+	// on the sparsest.
+	var corr bitblock.Block
+	for i := range corr {
+		corr[i] = 0xb7
+	}
+	got := p.Choose(true, &corr, windowLookahead{})
+	milcZ := code.MiLC{}.Encode(&corr).CountZeros()
+	gotZ := got.Encode(&corr).CountZeros()
+	if gotZ > milcZ {
+		t.Fatalf("write optimization picked %s (%d zeros), milc has %d", got.Name(), gotZ, milcZ)
+	}
+	// When only the base fits, the base is used regardless of data.
+	got = p.Choose(true, &corr, windowLookahead{readyAt: []int{1}})
+	if got.Name() != "milc" {
+		t.Fatalf("constrained write chose %s", got.Name())
+	}
+}
+
+func TestTieredName(t *testing.T) {
+	if mustTiered(t).Name() != "mil-tiered" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,165 @@
+// Package sim wires the full evaluation stack together: workload streams
+// feed the core models, which run against the cache hierarchy, whose misses
+// become controller requests scheduled onto the cycle-accurate DRAM model,
+// with every burst's bits accounted by the IO model. One Run reproduces one
+// bar of the paper's figures.
+package sim
+
+import (
+	"fmt"
+
+	"mil/internal/cache"
+	"mil/internal/code"
+	"mil/internal/cpu"
+	"mil/internal/dram"
+	"mil/internal/energy"
+	"mil/internal/memctrl"
+	"mil/internal/milcore"
+)
+
+// SystemKind selects one of the two evaluated platforms (Table 2).
+type SystemKind int
+
+// The evaluated systems.
+const (
+	// Server is the Niagara-like microserver with DDR4-3200.
+	Server SystemKind = iota
+	// Mobile is the Snapdragon-like system with LPDDR3-1600.
+	Mobile
+)
+
+// String implements fmt.Stringer.
+func (k SystemKind) String() string {
+	if k == Mobile {
+		return "mobile-lpddr3"
+	}
+	return "server-ddr4"
+}
+
+// platform bundles one system's sub-configurations.
+type platform struct {
+	dram     dram.Config
+	channels int
+	cpu      cpu.Config
+	cache    cache.Config
+	power    energy.DRAMPower
+	cpuPower energy.CPUPower
+	// pod is true for the zero-cost (VDDQ-terminated) interface.
+	pod bool
+	// computeScale multiplies each benchmark's compute padding: the mobile
+	// cores spend more cycles per memory operation relative to their
+	// (slower, seamless-burst) bus than the server cores do.
+	computeScale int64
+}
+
+// platformFor returns the Table 2 configuration of a system.
+func platformFor(kind SystemKind) platform {
+	if kind == Mobile {
+		return platform{
+			dram: dram.LPDDR3_1600(), channels: 2,
+			cpu: cpu.MobileConfig(), cache: cache.MobileConfig(),
+			power: energy.LPDDR3Power(), cpuPower: energy.MobileCPUPower(),
+			pod: false, computeScale: 44,
+		}
+	}
+	return platform{
+		dram: dram.DDR4_3200(), channels: 2,
+		cpu: cpu.ServerConfig(), cache: cache.ServerConfig(),
+		power: energy.DDR4Power(), cpuPower: energy.ServerCPUPower(),
+		pod: true, computeScale: 1,
+	}
+}
+
+// SchemeNames lists every coding configuration Run accepts:
+//
+//	baseline        - DBI (on LPDDR3: via transition signaling; Section 7.4)
+//	bi              - level-signaled bus-invert on the wires (Section 2.1.2)
+//	milc            - MiLC-only (always the base code)
+//	cafo2, cafo4    - CAFO under the MiL framework, 2 or 4 iterations
+//	mil             - the full opportunistic MiL framework
+//	mil3            - extension (Section 7.5.3): three-tier MiL with the
+//	                  intermediate BL14 hybrid code between MiLC and 3-LWC
+//	lwc3            - always the (8,17) 3-LWC (Figure 2's naive scheme)
+//	bl10..bl16      - fixed burst lengths for the Figure 20 sweep
+//	raw             - uncoded transfers (Figure 7 normalization)
+func SchemeNames() []string {
+	return []string{
+		"baseline", "bi", "milc", "cafo2", "cafo4", "mil", "mil3", "mil-nowropt",
+		"mil-x4", "lwc3", "bl10", "bl12", "bl14", "bl16", "raw",
+	}
+}
+
+// schemeFor builds the policy and phy factory for a scheme on a platform.
+// lookaheadX overrides MiL's look-ahead distance when > 0.
+func schemeFor(name string, p platform, lookaheadX int) (memctrl.Policy, func() memctrl.Phy, error) {
+	newPhy := func() memctrl.Phy {
+		if p.pod {
+			return &memctrl.PODPhy{}
+		}
+		return &memctrl.TransitionPhy{}
+	}
+	fixed := func(c code.Codec) (memctrl.Policy, func() memctrl.Phy, error) {
+		return memctrl.FixedPolicy{Codec: c}, newPhy, nil
+	}
+
+	switch name {
+	case "baseline":
+		// DBI on both systems: DDR4 natively, LPDDR3 via flip-on-zero
+		// transition signaling (Section 7.4 normalizes LPDDR3 results to
+		// DBI too, which is why its savings mirror the DDR4 ones).
+		return fixed(code.DBI{})
+	case "bi":
+		// Level-signaled bus-invert directly on the unterminated wires
+		// (the Section 2.1.2 alternative), kept for comparison studies.
+		return memctrl.FixedPolicy{Codec: code.Raw{}}, func() memctrl.Phy { return &memctrl.BIWirePhy{} }, nil
+	case "raw":
+		return fixed(code.Raw{})
+	case "milc", "bl10":
+		return fixed(code.MiLC{})
+	case "lwc3", "bl16":
+		return fixed(code.LWC3{})
+	case "cafo2":
+		return fixed(code.NewCAFO(2))
+	case "cafo4":
+		return fixed(code.NewCAFO(4))
+	case "bl12", "bl14":
+		total := 12
+		if name == "bl14" {
+			total = 14
+		}
+		st, err := milcore.NewStretched(code.MiLC{}, total)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fixed(st)
+	case "mil", "mil-nowropt":
+		opts := []milcore.Option{}
+		if lookaheadX > 0 {
+			opts = append(opts, milcore.WithLookahead(lookaheadX))
+		}
+		if name == "mil-nowropt" {
+			opts = append(opts, milcore.WithoutWriteOptimize())
+		}
+		pol, err := milcore.New(opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return pol, newPhy, nil
+	case "mil3":
+		pol, err := milcore.NewTiered(code.LWC3{}, code.Hybrid{}, code.MiLC{})
+		if err != nil {
+			return nil, nil, err
+		}
+		return pol, newPhy, nil
+	case "mil-x4":
+		// MiL for ranks of x4 chips (Section 4.1): x4 devices have no DBI
+		// pins, so the baseline is uncoded and the framework runs with the
+		// pin-free codes only (hybrid BL14 wide, MiLC base).
+		pol, err := milcore.NewTiered(code.Hybrid{}, code.MiLC{})
+		if err != nil {
+			return nil, nil, err
+		}
+		return pol, newPhy, nil
+	}
+	return nil, nil, fmt.Errorf("sim: unknown scheme %q", name)
+}

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"mil/internal/cache"
+	"mil/internal/cpu"
+	"mil/internal/energy"
+	"mil/internal/memctrl"
+	"mil/internal/workload"
+)
+
+// Config is one simulation run.
+type Config struct {
+	System    SystemKind
+	Scheme    string
+	Benchmark *workload.Benchmark
+	// MemOpsPerThread is each hardware thread's memory-operation budget
+	// (the run length dial). Zero selects the default.
+	MemOpsPerThread int64
+	// LookaheadX overrides MiL's look-ahead distance when > 0 (Figure 21).
+	LookaheadX int
+	// MaxCPUCycles aborts runaway runs; zero selects a generous default.
+	MaxCPUCycles int64
+	// Verify makes every phy decode and check each burst (slower).
+	Verify bool
+	// PowerDown enables the Section 7.3 fast power-down extension
+	// (Extension 3 in EXPERIMENTS.md).
+	PowerDown bool
+	// Trace, when non-nil, receives one line per issued DRAM command.
+	Trace io.Writer
+}
+
+// DefaultMemOps is the per-thread memory-op budget used by the experiments.
+const DefaultMemOps = 6000
+
+// Result captures everything one run produces; the experiment drivers
+// combine Results into the paper's figures.
+type Result struct {
+	System    SystemKind
+	Scheme    string
+	Benchmark string
+
+	CPUCycles    int64
+	DRAMCycles   int64
+	Seconds      float64
+	Instructions int64
+
+	Mem   *memctrl.Stats
+	Cache cache.Stats
+
+	DRAM energy.Breakdown
+	CPUJ float64
+}
+
+// SystemJ returns the full-system energy (Figure 19's quantity).
+func (r *Result) SystemJ() float64 { return r.DRAM.Total() + r.CPUJ }
+
+// BusUtilization returns the data-bus busy fraction.
+func (r *Result) BusUtilization() float64 { return r.Mem.BusUtilization() }
+
+// memPort adapts the memory system (plus the benchmark's value model) to
+// the cache hierarchy's port interface. Requests that hit controller
+// backpressure are cached per line so retries (which the hierarchy issues
+// every cycle) reuse the same object instead of rebuilding it.
+type memPort struct {
+	sys       *memctrl.System
+	bench     *workload.Benchmark
+	dramNow   int64
+	writeSeq  uint64
+	pendingRd map[int64]*memctrl.Request
+	pendingWr map[int64]*memctrl.Request
+	inflight  map[int64]*memctrl.Request // accepted reads, for Promote
+}
+
+func newMemPort(sys *memctrl.System, bench *workload.Benchmark) *memPort {
+	return &memPort{
+		sys: sys, bench: bench,
+		pendingRd: make(map[int64]*memctrl.Request),
+		pendingWr: make(map[int64]*memctrl.Request),
+		inflight:  make(map[int64]*memctrl.Request),
+	}
+}
+
+// ReadLine implements cache.MemPort.
+func (p *memPort) ReadLine(line int64, demand bool, stream int, done func()) bool {
+	req := p.pendingRd[line]
+	if req == nil {
+		req = &memctrl.Request{Line: line, Demand: demand, Stream: stream}
+		req.OnDone = func(int64) {
+			delete(p.inflight, line)
+			if done != nil {
+				done()
+			}
+		}
+	}
+	req.Demand = req.Demand || demand
+	if !p.sys.Enqueue(req, p.dramNow) {
+		p.pendingRd[line] = req
+		return false
+	}
+	delete(p.pendingRd, line)
+	p.inflight[line] = req
+	return true
+}
+
+// Promote implements cache.MemPort: flip an in-flight (or still-pending)
+// prefetch read to demand priority.
+func (p *memPort) Promote(line int64) {
+	if req := p.inflight[line]; req != nil {
+		req.Demand = true
+	}
+	if req := p.pendingRd[line]; req != nil {
+		req.Demand = true
+	}
+}
+
+// WriteLine implements cache.MemPort.
+func (p *memPort) WriteLine(line int64, stream int) bool {
+	req := p.pendingWr[line]
+	if req == nil {
+		p.writeSeq++
+		req = &memctrl.Request{
+			Line: line, Write: true, Stream: stream,
+			Data: p.bench.StoreData(line, p.writeSeq),
+		}
+	}
+	if !p.sys.Enqueue(req, p.dramNow) {
+		p.pendingWr[line] = req
+		return false
+	}
+	delete(p.pendingWr, line)
+	return true
+}
+
+// Run executes one configuration to completion.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Benchmark == nil {
+		return nil, fmt.Errorf("sim: nil benchmark")
+	}
+	plat := platformFor(cfg.System)
+	policy, newPhy, err := schemeFor(cfg.Scheme, plat, cfg.LookaheadX)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Verify {
+		base := newPhy
+		newPhy = func() memctrl.Phy {
+			switch phy := base().(type) {
+			case *memctrl.PODPhy:
+				phy.Verify = true
+				return phy
+			case *memctrl.TransitionPhy:
+				phy.Verify = true
+				return phy
+			case *memctrl.BIWirePhy:
+				phy.Verify = true
+				return phy
+			default:
+				return phy
+			}
+		}
+	}
+
+	memOps := cfg.MemOpsPerThread
+	if memOps <= 0 {
+		memOps = DefaultMemOps
+	}
+	maxCycles := cfg.MaxCPUCycles
+	if maxCycles <= 0 {
+		maxCycles = 400_000_000
+	}
+
+	ctrlCfg := memctrl.DefaultConfig(plat.dram)
+	ctrlCfg.Trace = cfg.Trace
+	if cfg.PowerDown {
+		// tXP ~ 6ns and a ~40ns idle threshold, in DRAM cycles.
+		xp := int(6.0/plat.dram.ClockNS) + 1
+		ctrlCfg.PowerDown = memctrl.PowerDownConfig{Enable: true, IdleCycles: 64, XP: xp}
+	}
+	mem := memctrl.NewOverlayMemory(cfg.Benchmark.LineData)
+	memSys, err := memctrl.NewSystem(memctrl.SystemConfig{
+		Channels:   plat.channels,
+		Controller: ctrlCfg,
+		Policy:     policy,
+		NewPhy:     newPhy,
+		Mem:        mem,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	port := newMemPort(memSys, cfg.Benchmark)
+	hier, err := cache.NewHierarchy(plat.cache, port)
+	if err != nil {
+		return nil, err
+	}
+
+	bench := cfg.Benchmark
+	if plat.computeScale > 1 {
+		bench = bench.WithComputeScale(plat.computeScale)
+	}
+	streams, err := bench.NewStreams(plat.cpu.Threads(), memOps)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := cpu.NewProcessor(plat.cpu, hier, streams)
+	if err != nil {
+		return nil, err
+	}
+
+	// Main loop: the CPU clock runs at 2x the DRAM clock on both platforms
+	// (3.2GHz/1.6GHz and 1.6GHz/0.8GHz).
+	var cpuNow int64
+	for {
+		if cpuNow%2 == 0 {
+			port.dramNow = cpuNow / 2
+			memSys.Tick(port.dramNow)
+		}
+		hier.Tick()
+		proc.Tick(cpuNow)
+		if proc.Done() && !hier.Pending() && !memSys.Pending() {
+			break
+		}
+		cpuNow++
+		if cpuNow > maxCycles {
+			return nil, fmt.Errorf("sim: %s/%s/%s exceeded %d CPU cycles",
+				cfg.System, cfg.Scheme, cfg.Benchmark.Name, maxCycles)
+		}
+	}
+
+	dramCycles := cpuNow/2 + 1
+	seconds := float64(dramCycles) * plat.dram.ClockNS * 1e-9
+	stats := memSys.Stats()
+
+	breakdown, err := energy.DRAMEnergy(plat.power, plat.dram, plat.channels, stats, dramCycles)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		System:       cfg.System,
+		Scheme:       cfg.Scheme,
+		Benchmark:    cfg.Benchmark.Name,
+		CPUCycles:    cpuNow + 1,
+		DRAMCycles:   dramCycles,
+		Seconds:      seconds,
+		Instructions: proc.Retired,
+		Mem:          stats,
+		Cache:        hier.Stats(),
+		DRAM:         breakdown,
+		CPUJ:         energy.CPUEnergy(plat.cpuPower, seconds, proc.Retired),
+	}, nil
+}

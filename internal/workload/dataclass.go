@@ -1,0 +1,266 @@
+// Package workload synthesizes the eleven applications of Table 3 as
+// deterministic generators of (a) per-thread instruction streams with each
+// benchmark's memory intensity and locality, and (b) the data values those
+// accesses move, since the efficacy of every coding scheme depends on the
+// bits on the bus. The paper ran the original binaries under a full-system
+// simulator; these generators are the substitution documented in DESIGN.md,
+// calibrated to the per-benchmark bus utilizations and data characteristics
+// the paper reports.
+package workload
+
+import (
+	"math"
+
+	"mil/internal/bitblock"
+)
+
+// mix64 is SplitMix64, the deterministic hash behind all content.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// fieldRand yields the i-th deterministic word for (seed, line).
+func fieldRand(seed uint64, line int64, i int) uint64 {
+	return mix64(seed ^ mix64(uint64(line)*0x632be59bd9b4e019+uint64(i)))
+}
+
+// DataClass generates deterministic 64-byte line contents.
+type DataClass interface {
+	Name() string
+	Line(seed uint64, line int64) bitblock.Block
+}
+
+// Float64Data models arrays of doubles drawn from a narrow magnitude range:
+// adjacent elements share sign/exponent structure, the spatial correlation
+// MiLC's XOR mode exploits. Scale sets the magnitude around which values
+// cluster; MantissaBits (default 52) truncates the mantissa, reflecting the
+// limited significance typical of iterative numerical kernels.
+type Float64Data struct {
+	Scale        float64
+	MantissaBits int
+}
+
+// Name implements DataClass.
+func (Float64Data) Name() string { return "float64" }
+
+// Line implements DataClass.
+func (d Float64Data) Line(seed uint64, line int64) bitblock.Block {
+	var blk bitblock.Block
+	scale := d.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	for i := 0; i < 8; i++ {
+		r := fieldRand(seed, line, i)
+		// Uniform in (scale/2, scale): a narrow exponent band.
+		frac := 0.5 + 0.5*float64(r>>11)/float64(1<<53)
+		v := scale * frac
+		if r&1 == 1 {
+			v = -v
+		}
+		bits := math.Float64bits(v)
+		if d.MantissaBits > 0 && d.MantissaBits < 52 {
+			bits &^= 1<<(52-d.MantissaBits) - 1
+		}
+		for b := 0; b < 8; b++ {
+			blk[i*8+b] = byte(bits >> (8 * b))
+		}
+	}
+	return blk
+}
+
+// Float32Data is the single-precision analogue (two floats per 8-byte row).
+type Float32Data struct {
+	Scale        float32
+	MantissaBits int
+}
+
+// Name implements DataClass.
+func (Float32Data) Name() string { return "float32" }
+
+// Line implements DataClass.
+func (d Float32Data) Line(seed uint64, line int64) bitblock.Block {
+	var blk bitblock.Block
+	scale := d.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	for i := 0; i < 16; i++ {
+		r := fieldRand(seed, line, i)
+		frac := 0.5 + 0.5*float32(r>>40)/float32(1<<24)
+		v := scale * frac
+		if r&1 == 1 {
+			v = -v
+		}
+		bits := math.Float32bits(v)
+		if d.MantissaBits > 0 && d.MantissaBits < 23 {
+			bits &^= 1<<(23-d.MantissaBits) - 1
+		}
+		for b := 0; b < 4; b++ {
+			blk[i*4+b] = byte(bits >> (8 * b))
+		}
+	}
+	return blk
+}
+
+// Int32Data models index/attribute arrays of small non-negative integers
+// below Max: the upper bytes are mostly zero, the classic sparse-friendly
+// pattern.
+type Int32Data struct{ Max uint32 }
+
+// Name implements DataClass.
+func (Int32Data) Name() string { return "int32" }
+
+// Line implements DataClass.
+func (d Int32Data) Line(seed uint64, line int64) bitblock.Block {
+	var blk bitblock.Block
+	max := d.Max
+	if max == 0 {
+		max = 1 << 20
+	}
+	for i := 0; i < 16; i++ {
+		v := uint32(fieldRand(seed, line, i)) % max
+		for b := 0; b < 4; b++ {
+			blk[i*4+b] = byte(v >> (8 * b))
+		}
+	}
+	return blk
+}
+
+// TextData models ASCII text: every byte's top bit is clear and the letter
+// distribution is skewed, which makes sparse codes shine (the paper's
+// STRMATCH observation).
+type TextData struct{}
+
+// textChars approximates English letter frequency with spaces.
+const textChars = "  eeeettaaooiinnsshhrrdlcumwfgypbvk.,"
+
+// Name implements DataClass.
+func (TextData) Name() string { return "text" }
+
+// Line implements DataClass.
+func (TextData) Line(seed uint64, line int64) bitblock.Block {
+	var blk bitblock.Block
+	for i := 0; i < 8; i++ {
+		r := fieldRand(seed, line, i)
+		for b := 0; b < 8; b++ {
+			blk[i*8+b] = textChars[int(r>>(8*b))&0xff%len(textChars)]
+		}
+	}
+	return blk
+}
+
+// RandomData is maximum-entropy content (GUPS's XOR-updated table).
+type RandomData struct{}
+
+// Name implements DataClass.
+func (RandomData) Name() string { return "random" }
+
+// Line implements DataClass.
+func (RandomData) Line(seed uint64, line int64) bitblock.Block {
+	var blk bitblock.Block
+	for i := 0; i < 8; i++ {
+		r := fieldRand(seed, line, i)
+		for b := 0; b < 8; b++ {
+			blk[i*8+b] = byte(r >> (8 * b))
+		}
+	}
+	return blk
+}
+
+// StoreDataClass is an optional DataClass extension for classes whose
+// written values differ in shape from a full regeneration (e.g. GUPS
+// updates randomize a single word of the line).
+type StoreDataClass interface {
+	StoreLine(seed uint64, line int64, seq uint64) bitblock.Block
+}
+
+// IndexData models GUPS's update table: 64-bit words initialized to their
+// own index (a[i] = i), so the upper bytes are zero-heavy, with a fraction
+// of words already scrambled by earlier random XOR updates. Stores
+// randomize exactly one word, like a GUPS update.
+type IndexData struct {
+	// UpdatedOneIn randomizes one word in N as already-updated; 0 disables.
+	UpdatedOneIn uint64
+}
+
+// Name implements DataClass.
+func (IndexData) Name() string { return "index" }
+
+// Line implements DataClass.
+func (d IndexData) Line(seed uint64, line int64) bitblock.Block {
+	var blk bitblock.Block
+	for i := 0; i < 8; i++ {
+		v := uint64(line)*8 + uint64(i)
+		if d.UpdatedOneIn > 0 && fieldRand(seed, line, i)%d.UpdatedOneIn == 0 {
+			v = fieldRand(seed^0xa5a5, line, i)
+		}
+		for b := 0; b < 8; b++ {
+			blk[i*8+b] = byte(v >> (8 * b))
+		}
+	}
+	return blk
+}
+
+// StoreLine implements StoreDataClass: the line with one word replaced by a
+// random update value.
+func (d IndexData) StoreLine(seed uint64, line int64, seq uint64) bitblock.Block {
+	blk := d.Line(seed, line)
+	slot := int(mix64(seq) % 8)
+	v := mix64(seq ^ uint64(line))
+	for b := 0; b < 8; b++ {
+		blk[slot*8+b] = byte(v >> (8 * b))
+	}
+	return blk
+}
+
+// PixelData models image rows: neighboring bytes drift slowly (gradients),
+// so adjacent bus rows correlate.
+type PixelData struct{}
+
+// Name implements DataClass.
+func (PixelData) Name() string { return "pixel" }
+
+// Line implements DataClass.
+func (PixelData) Line(seed uint64, line int64) bitblock.Block {
+	var blk bitblock.Block
+	base := int(fieldRand(seed, line, 0) % 200)
+	for i := range blk {
+		delta := int(fieldRand(seed, line, 1+i/8)>>(8*(i%8))&0x07) - 3
+		base += delta
+		if base < 0 {
+			base = 0
+		}
+		if base > 255 {
+			base = 255
+		}
+		blk[i] = byte(base)
+	}
+	return blk
+}
+
+// CountData models histogram/count tables: small integers in 64-bit slots,
+// overwhelmingly zero bytes.
+type CountData struct{ Max uint64 }
+
+// Name implements DataClass.
+func (CountData) Name() string { return "count" }
+
+// Line implements DataClass.
+func (d CountData) Line(seed uint64, line int64) bitblock.Block {
+	var blk bitblock.Block
+	max := d.Max
+	if max == 0 {
+		max = 4096
+	}
+	for i := 0; i < 8; i++ {
+		v := fieldRand(seed, line, i) % max
+		for b := 0; b < 8; b++ {
+			blk[i*8+b] = byte(v >> (8 * b))
+		}
+	}
+	return blk
+}

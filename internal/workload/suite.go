@@ -1,0 +1,222 @@
+package workload
+
+import "fmt"
+
+// The eleven applications of Table 3. Region footprints are scaled to keep
+// simulation turnaround reasonable while preserving each benchmark's
+// cache/DRAM behavior class (well beyond the 2-4MB L2 wherever the original
+// is DRAM-resident). The Suite/Input fields record the original provenance.
+
+// GUPS: random 8-byte read-modify-writes across a giant table; the most
+// bandwidth-hungry, least cache-friendly pattern with maximum-entropy data.
+func GUPS() *Benchmark {
+	return &Benchmark{
+		Name: "GUPS", Suite: "HPCC", Input: "2^25 table, 1048576 updates",
+		Regions: []Region{{Name: "table", Lines: 1 << 19, Data: IndexData{UpdatedOneIn: 32}}},
+		Bursts: []Burst{
+			{Weight: 1, Region: 0, Kind: RMW, Length: 64},
+		},
+		ComputePerMem: 1,
+	}
+}
+
+// CG: sparse matrix-vector products; streaming row values and column
+// indices with indirect gathers into the source vector.
+func CG() *Benchmark {
+	return &Benchmark{
+		Name: "CG", Suite: "NAS OpenMP", Input: "Class A",
+		Regions: []Region{
+			{Name: "rowvals", Lines: 1 << 18, Data: Float64Data{Scale: 1, MantissaBits: 24}},
+			{Name: "colidx", Lines: 1 << 16, Data: Int32Data{Max: 1 << 15}},
+			{Name: "x", Lines: 1 << 17, Data: Float64Data{Scale: 1, MantissaBits: 24}, Shared: true},
+			{Name: "y", Lines: 1 << 13, Data: Float64Data{Scale: 1, MantissaBits: 24}},
+		},
+		Bursts: []Burst{
+			{Weight: 8, Region: 0, Kind: Stream, Length: 48, StrideLines: 1},
+			{Weight: 1, Region: 1, Kind: Stream, Length: 16, StrideLines: 1},
+			{Weight: 3, Region: 2, Kind: Gather, Length: 24},
+			{Weight: 1, Region: 3, Kind: Stream, Length: 8, StrideLines: 1, WriteFrac: 0.5},
+		},
+		ComputePerMem: 1,
+	}
+}
+
+// MG: multigrid relaxation; sweeps at multiple strides over a large grid.
+func MG() *Benchmark {
+	return &Benchmark{
+		Name: "MG", Suite: "NAS OpenMP", Input: "Class A",
+		Regions: []Region{{Name: "grid", Lines: 1 << 18, Data: Float64Data{Scale: 0.125, MantissaBits: 24}}},
+		Bursts: []Burst{
+			{Weight: 4, Region: 0, Kind: Stream, Length: 4, StrideLines: 1, WriteFrac: 0.25},
+			{Weight: 2, Region: 0, Kind: Stream, Length: 4, StrideLines: 2},
+			{Weight: 1, Region: 0, Kind: Stream, Length: 4, StrideLines: 8},
+		},
+		ComputePerMem: 12,
+	}
+}
+
+// SCALPARC: decision-tree mining; streaming attribute lists with random
+// record lookups and count updates.
+func SCALPARC() *Benchmark {
+	return &Benchmark{
+		Name: "SCALPARC", Suite: "NuMineBench", Input: "F26-A32-D125K.tab",
+		Regions: []Region{
+			{Name: "attrs", Lines: 1 << 18, Data: Float32Data{Scale: 100, MantissaBits: 12}},
+			{Name: "records", Lines: 1 << 17, Data: Int32Data{Max: 125000}, Shared: true},
+			{Name: "counts", Lines: 1 << 12, Data: CountData{Max: 4096}},
+		},
+		Bursts: []Burst{
+			{Weight: 4, Region: 0, Kind: Stream, Length: 32, StrideLines: 1},
+			{Weight: 2, Region: 1, Kind: Gather, Length: 16},
+			{Weight: 1, Region: 2, Kind: Gather, Length: 8, WriteFrac: 0.6},
+		},
+		ComputePerMem: 1,
+	}
+}
+
+// HISTOGRAM: byte-granular image scan with counter updates that mostly hit
+// in the cache.
+func HISTOGRAM() *Benchmark {
+	return &Benchmark{
+		Name: "HISTOGRAM", Suite: "Phoenix", Input: "small",
+		Regions: []Region{
+			{Name: "pixels", Lines: 1 << 18, Data: PixelData{}},
+			{Name: "bins", Lines: 64, Data: CountData{Max: 1 << 20}},
+		},
+		Bursts: []Burst{
+			{Weight: 3, Region: 0, Kind: WordScan, Length: 64},
+			{Weight: 1, Region: 1, Kind: WordScan, Length: 32, WriteFrac: 0.5},
+		},
+		ComputePerMem: 4,
+	}
+}
+
+// MM: blocked dense matrix multiply; the tiles live in the caches, so DRAM
+// sees only the slow trickle of tile refills.
+func MM() *Benchmark {
+	return &Benchmark{
+		Name: "MM", Suite: "Phoenix", Input: "3000x3000 matrix",
+		Regions: []Region{
+			{Name: "tiles", Lines: 1 << 10, Data: Float64Data{Scale: 4, MantissaBits: 20}},
+			{Name: "a", Lines: 1 << 17, Data: Float64Data{Scale: 4, MantissaBits: 20}, Shared: true},
+		},
+		Bursts: []Burst{
+			{Weight: 96, Region: 0, Kind: WordScan, Length: 64},
+			{Weight: 1, Region: 1, Kind: Stream, Length: 8, StrideLines: 1},
+		},
+		ComputePerMem: 96,
+	}
+}
+
+// STRMATCH: string match streams a large text corpus word by word with
+// comparison work per word; ASCII data is highly compressible.
+func STRMATCH() *Benchmark {
+	return &Benchmark{
+		Name: "STRMATCH", Suite: "Phoenix", Input: "50MB file",
+		Regions: []Region{
+			{Name: "text", Lines: 1 << 18, Data: TextData{}},
+			{Name: "keys", Lines: 256, Data: TextData{}, Shared: true},
+		},
+		Bursts: []Burst{
+			{Weight: 8, Region: 0, Kind: WordScan, Length: 64},
+			{Weight: 1, Region: 1, Kind: WordScan, Length: 16},
+		},
+		ComputePerMem: 5,
+	}
+}
+
+// ART: adaptive resonance theory neural network; streaming weight matrices
+// in single precision with moderate reuse.
+func ART() *Benchmark {
+	return &Benchmark{
+		Name: "ART", Suite: "SPEC OpenMP", Input: "MinneSpec-Large",
+		Regions: []Region{
+			{Name: "weights", Lines: 1 << 17, Data: Float32Data{Scale: 1, MantissaBits: 14}},
+			{Name: "f1", Lines: 1 << 12, Data: Float32Data{Scale: 1, MantissaBits: 14}},
+		},
+		Bursts: []Burst{
+			{Weight: 4, Region: 0, Kind: Stream, Length: 6, StrideLines: 1, WriteFrac: 0.2},
+			{Weight: 2, Region: 1, Kind: WordScan, Length: 32, WriteFrac: 0.3},
+		},
+		ComputePerMem: 9,
+	}
+}
+
+// SWIM: shallow-water stencils; several large single-precision grids
+// streamed with stores.
+func SWIM() *Benchmark {
+	return &Benchmark{
+		Name: "SWIM", Suite: "SPEC OpenMP", Input: "MinneSpec-Large",
+		Regions: []Region{
+			{Name: "u", Lines: 1 << 17, Data: Float32Data{Scale: 8, MantissaBits: 14}},
+			{Name: "v", Lines: 1 << 17, Data: Float32Data{Scale: 8, MantissaBits: 14}},
+			{Name: "p", Lines: 1 << 17, Data: Float32Data{Scale: 1000, MantissaBits: 14}},
+		},
+		Bursts: []Burst{
+			{Weight: 2, Region: 0, Kind: Stream, Length: 2, StrideLines: 1, WriteFrac: 0.3},
+			{Weight: 2, Region: 1, Kind: Stream, Length: 2, StrideLines: 1, WriteFrac: 0.3},
+			{Weight: 2, Region: 2, Kind: Stream, Length: 2, StrideLines: 1, WriteFrac: 0.3},
+		},
+		ComputePerMem: 4,
+	}
+}
+
+// FFT: 2^20 complex points; unit-stride passes alternating with large
+// power-of-two strides that stress the bank timing.
+func FFT() *Benchmark {
+	return &Benchmark{
+		Name: "FFT", Suite: "SPLASH-2", Input: "2^20 complex data points",
+		Regions: []Region{{Name: "data", Lines: 1 << 18, Data: Float64Data{Scale: 1, MantissaBits: 28}}},
+		Bursts: []Burst{
+			{Weight: 4, Region: 0, Kind: Stream, Length: 6, StrideLines: 1, WriteFrac: 0.3},
+			{Weight: 1, Region: 0, Kind: Stream, Length: 4, StrideLines: 64, WriteFrac: 0.3},
+		},
+		ComputePerMem: 14,
+	}
+}
+
+// OCEAN: ocean current stencils; unit-stride plus next-row neighbors with
+// stores.
+func OCEAN() *Benchmark {
+	return &Benchmark{
+		Name: "OCEAN", Suite: "SPLASH-2", Input: "514x514 ocean",
+		Regions: []Region{
+			{Name: "grid1", Lines: 1 << 18, Data: Float64Data{Scale: 16, MantissaBits: 24}},
+			{Name: "grid2", Lines: 1 << 17, Data: Float64Data{Scale: 0.01, MantissaBits: 24}},
+		},
+		Bursts: []Burst{
+			{Weight: 3, Region: 0, Kind: Stream, Length: 3, StrideLines: 1, WriteFrac: 0.3},
+			{Weight: 1, Region: 0, Kind: Stream, Length: 2, StrideLines: 9},
+			{Weight: 2, Region: 1, Kind: Stream, Length: 3, StrideLines: 1, WriteFrac: 0.3},
+		},
+		ComputePerMem: 5,
+	}
+}
+
+// All returns the suite in the paper's presentation order (Figure 5: sorted
+// by data-bus utilization from low to high).
+func All() []*Benchmark {
+	return []*Benchmark{
+		MM(), STRMATCH(), HISTOGRAM(), ART(), MG(), FFT(),
+		SCALPARC(), SWIM(), OCEAN(), CG(), GUPS(),
+	}
+}
+
+// ByName looks a benchmark up by its Table 3 name (case sensitive).
+func ByName(name string) (*Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Names lists the suite in presentation order.
+func Names() []string {
+	var out []string
+	for _, b := range All() {
+		out = append(out, b.Name)
+	}
+	return out
+}

@@ -1,0 +1,421 @@
+package workload
+
+import (
+	"math/bits"
+	"testing"
+
+	"mil/internal/cpu"
+)
+
+func TestSuiteComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 11 {
+		t.Fatalf("suite has %d benchmarks, want 11", len(names))
+	}
+	want := map[string]bool{
+		"GUPS": true, "CG": true, "MG": true, "SCALPARC": true,
+		"HISTOGRAM": true, "MM": true, "STRMATCH": true, "ART": true,
+		"SWIM": true, "FFT": true, "OCEAN": true,
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected benchmark %q", n)
+		}
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing benchmarks: %v", want)
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("GUPS")
+	if err != nil || b.Name != "GUPS" {
+		t.Fatalf("ByName(GUPS) = %v, %v", b, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestStreamsRespectBudget(t *testing.T) {
+	for _, b := range All() {
+		streams, err := b.NewStreams(2, 100)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		for ti, s := range streams {
+			memOps := 0
+			for {
+				op, ok := s.Next()
+				if !ok {
+					break
+				}
+				if op.Kind == cpu.OpLoad || op.Kind == cpu.OpStore {
+					memOps++
+				}
+			}
+			if memOps != 100 {
+				t.Errorf("%s thread %d: %d mem ops, want 100", b.Name, ti, memOps)
+			}
+		}
+	}
+}
+
+func TestStreamAddressesInFootprint(t *testing.T) {
+	for _, b := range All() {
+		limit := b.Lines() * 64
+		streams, err := b.NewStreams(4, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range streams {
+			for {
+				op, ok := s.Next()
+				if !ok {
+					break
+				}
+				if op.Kind == cpu.OpCompute {
+					continue
+				}
+				if op.Addr < 0 || op.Addr >= limit {
+					t.Fatalf("%s: address %#x outside footprint %#x", b.Name, op.Addr, limit)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamsDeterministic(t *testing.T) {
+	collect := func() []cpu.Op {
+		b := CG()
+		streams, err := b.NewStreams(2, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ops []cpu.Op
+		for _, s := range streams {
+			for {
+				op, ok := s.Next()
+				if !ok {
+					break
+				}
+				ops = append(ops, op)
+			}
+		}
+		return ops
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestThreadsPartitionPrivateRegions(t *testing.T) {
+	b := GUPS() // single private region
+	streams, err := b.NewStreams(2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]map[int64]bool, 2)
+	for ti, s := range streams {
+		seen[ti] = map[int64]bool{}
+		for {
+			op, ok := s.Next()
+			if !ok {
+				break
+			}
+			if op.Kind != cpu.OpCompute {
+				seen[ti][op.Addr/64] = true
+			}
+		}
+	}
+	for l := range seen[0] {
+		if seen[1][l] {
+			t.Fatalf("line %d accessed by both threads of a private region", l)
+		}
+	}
+}
+
+func TestRMWEmitsLoadStorePairs(t *testing.T) {
+	b := GUPS()
+	streams, err := b.NewStreams(1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := streams[0]
+	var mem []cpu.Op
+	for {
+		op, ok := s.Next()
+		if !ok {
+			break
+		}
+		if op.Kind != cpu.OpCompute {
+			mem = append(mem, op)
+		}
+	}
+	if len(mem)%2 != 0 {
+		t.Fatalf("odd op count %d", len(mem))
+	}
+	for i := 0; i < len(mem); i += 2 {
+		if mem[i].Kind != cpu.OpLoad || mem[i+1].Kind != cpu.OpStore || mem[i].Addr != mem[i+1].Addr {
+			t.Fatalf("pair %d: %+v / %+v", i/2, mem[i], mem[i+1])
+		}
+	}
+}
+
+func TestWordScanStaysWithinLineBeforeAdvancing(t *testing.T) {
+	b := STRMATCH()
+	streams, err := b.NewStreams(1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addrs []int64
+	s := streams[0]
+	for {
+		op, ok := s.Next()
+		if !ok {
+			break
+		}
+		if op.Kind == cpu.OpLoad {
+			addrs = append(addrs, op.Addr)
+		}
+	}
+	// Consecutive loads from the text region advance by 8 bytes.
+	adjacent := 0
+	for i := 1; i < len(addrs); i++ {
+		if addrs[i]-addrs[i-1] == 8 {
+			adjacent++
+		}
+	}
+	if adjacent < len(addrs)/2 {
+		t.Fatalf("only %d/%d word-adjacent accesses", adjacent, len(addrs))
+	}
+}
+
+func TestLineDataDeterministic(t *testing.T) {
+	for _, b := range All() {
+		if b.LineData(100) != b.LineData(100) {
+			t.Fatalf("%s: line data not deterministic", b.Name)
+		}
+		if b.LineData(100) == b.LineData(101) {
+			t.Errorf("%s: adjacent lines identical", b.Name)
+		}
+	}
+}
+
+func TestStoreDataVariesWithSeq(t *testing.T) {
+	b := GUPS()
+	if b.StoreData(5, 1) == b.StoreData(5, 2) {
+		t.Fatal("store data ignores the sequence number")
+	}
+	if b.StoreData(5, 1) != b.StoreData(5, 1) {
+		t.Fatal("store data not deterministic")
+	}
+}
+
+func TestLineDataOutOfRangeStillWorks(t *testing.T) {
+	b := MM()
+	_ = b.LineData(-5)
+	_ = b.LineData(b.Lines() + 100)
+	_ = b.StoreData(-5, 3)
+}
+
+// zeroFraction measures the zero-bit share of a class's output.
+func zeroFraction(d DataClass, n int) float64 {
+	zeros, total := 0, 0
+	for l := int64(0); l < int64(n); l++ {
+		blk := d.Line(12345, l)
+		for _, b := range blk {
+			zeros += 8 - bits.OnesCount8(b)
+			total += 8
+		}
+	}
+	return float64(zeros) / float64(total)
+}
+
+func TestDataClassStatistics(t *testing.T) {
+	// Random data is balanced.
+	if f := zeroFraction(RandomData{}, 100); f < 0.48 || f > 0.52 {
+		t.Errorf("random zero fraction %v", f)
+	}
+	// Text bytes always clear the top bit (guaranteed zero per byte) and
+	// stay near balance overall.
+	if f := zeroFraction(TextData{}, 100); f < 0.40 || f > 0.60 {
+		t.Errorf("text zero fraction %v", f)
+	}
+	for l := int64(0); l < 50; l++ {
+		blk := TextData{}.Line(7, l)
+		for i, b := range blk {
+			if b&0x80 != 0 {
+				t.Fatalf("text byte %d has the top bit set: %x", i, b)
+			}
+		}
+	}
+	// Count tables are almost all zeros.
+	if f := zeroFraction(CountData{Max: 4096}, 100); f < 0.80 {
+		t.Errorf("count zero fraction %v, want > 0.8", f)
+	}
+	// Small int32 indices have zero-heavy upper bytes.
+	if f := zeroFraction(Int32Data{Max: 1 << 15}, 100); f < 0.6 {
+		t.Errorf("int32 zero fraction %v, want > 0.6", f)
+	}
+}
+
+func TestFloatDataLooksLikeFloats(t *testing.T) {
+	blk := Float64Data{Scale: 1}.Line(1, 0)
+	// The top byte (sign + upper exponent bits) must repeat across
+	// elements modulo sign: values live in a narrow magnitude band, the
+	// spatial correlation MiLC exploits.
+	for i := 8; i < 64; i += 8 {
+		if blk[i+7]&0x7f != blk[7]&0x7f {
+			t.Fatalf("exponent byte varies: %x vs %x", blk[i+7], blk[7])
+		}
+	}
+}
+
+func TestFinalizeRejectsBadSpecs(t *testing.T) {
+	b := &Benchmark{Name: "bad"}
+	if err := b.finalize(); err == nil {
+		t.Error("empty spec accepted")
+	}
+	b = &Benchmark{
+		Name:    "bad2",
+		Regions: []Region{{Name: "r", Lines: 10, Data: RandomData{}}},
+		Bursts:  []Burst{{Weight: 1, Region: 5, Kind: Gather, Length: 1}},
+	}
+	if err := b.finalize(); err == nil {
+		t.Error("out-of-range region accepted")
+	}
+	b = &Benchmark{
+		Name:    "bad3",
+		Regions: []Region{{Name: "r", Lines: 10, Data: RandomData{}}},
+		Bursts:  []Burst{{Weight: 1, Region: 0, Kind: Stream, Length: 4}},
+	}
+	if err := b.finalize(); err == nil {
+		t.Error("zero stream stride accepted")
+	}
+	if _, err := GUPS().NewStreams(0, 10); err == nil {
+		t.Error("zero threads accepted")
+	}
+}
+
+func TestSuiteProvenanceRecorded(t *testing.T) {
+	for _, b := range All() {
+		if b.Suite == "" || b.Input == "" {
+			t.Errorf("%s: missing Table 3 provenance", b.Name)
+		}
+	}
+}
+
+func TestWithComputeScale(t *testing.T) {
+	b := GUPS()
+	scaled := b.WithComputeScale(16)
+	if scaled.ComputePerMem != b.ComputePerMem*16 {
+		t.Fatalf("scaled compute = %d", scaled.ComputePerMem)
+	}
+	if b.ComputePerMem != 1 {
+		t.Fatal("original mutated")
+	}
+	// Scale 1 (or below) leaves the benchmark unchanged.
+	same := b.WithComputeScale(0)
+	if same.ComputePerMem != b.ComputePerMem {
+		t.Fatalf("identity scale changed compute to %d", same.ComputePerMem)
+	}
+	// A scaled copy still produces valid streams.
+	streams, err := scaled.NewStreams(2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := streams[0].Next(); !ok {
+		t.Fatal("scaled stream empty")
+	}
+}
+
+func TestIndexDataShape(t *testing.T) {
+	d := IndexData{UpdatedOneIn: 32}
+	blk := d.Line(1, 1000)
+	// Most words hold their own index: word 0 of line 1000 is 8000.
+	matches := 0
+	for i := 0; i < 8; i++ {
+		var v uint64
+		for b := 0; b < 8; b++ {
+			v |= uint64(blk[i*8+b]) << (8 * b)
+		}
+		if v == uint64(1000*8+i) {
+			matches++
+		}
+	}
+	if matches < 6 {
+		t.Fatalf("only %d/8 words are identity values", matches)
+	}
+	// Stores randomize exactly one word.
+	st := d.StoreLine(1, 1000, 7)
+	diff := 0
+	for i := 0; i < 8; i++ {
+		same := true
+		for b := 0; b < 8; b++ {
+			if st[i*8+b] != blk[i*8+b] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("store changed %d words, want exactly 1", diff)
+	}
+}
+
+func TestMantissaTruncation(t *testing.T) {
+	blk := Float64Data{Scale: 1, MantissaBits: 20}.Line(3, 5)
+	// The low 32 mantissa bits of every double must be zero.
+	for i := 0; i < 8; i++ {
+		var v uint64
+		for b := 0; b < 8; b++ {
+			v |= uint64(blk[i*8+b]) << (8 * b)
+		}
+		if v&0xffffffff != 0 {
+			t.Fatalf("double %d has nonzero truncated mantissa bits: %x", i, v)
+		}
+	}
+	blk32 := Float32Data{Scale: 1, MantissaBits: 11}.Line(3, 5)
+	for i := 0; i < 16; i++ {
+		var v uint32
+		for b := 0; b < 4; b++ {
+			v |= uint32(blk32[i*4+b]) << (8 * b)
+		}
+		if v&0xfff != 0 {
+			t.Fatalf("float %d has nonzero truncated mantissa bits: %x", i, v)
+		}
+	}
+}
+
+func TestWithComputeScaleOfFinalizedBenchmark(t *testing.T) {
+	// Scaling a benchmark that has already been finalized (e.g. reused
+	// across runs) must not double the memoized weight/line sums.
+	b := CG()
+	_ = b.LineData(0) // forces finalize on the original
+	scaled := b.WithComputeScale(4)
+	streams, err := scaled.NewStreams(2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range streams {
+		for {
+			if _, ok := s.Next(); !ok { // panics if weights are inconsistent
+				break
+			}
+		}
+	}
+	if scaled.Lines() != b.Lines() {
+		t.Fatalf("footprints differ: %d vs %d", scaled.Lines(), b.Lines())
+	}
+}

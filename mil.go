@@ -1,0 +1,96 @@
+// Package mil is the public facade of the MiL ("More is Less", MICRO 2015)
+// reproduction: opportunistic sparse coding over DDR4/LPDDR3 memory
+// interfaces. It exposes the coding schemes (DBI, BI, 3-LWC, MiLC, CAFO,
+// transition signaling), the two evaluated platforms, and a one-call
+// simulator that reports performance, bus, and energy results.
+//
+// Quick start:
+//
+//	res, err := mil.Run(mil.Config{
+//		System:    mil.Server,
+//		Scheme:    "mil",
+//		Benchmark: "GUPS",
+//	})
+//
+// or, for the data path alone:
+//
+//	codec, _ := mil.NewCodec("milc")
+//	burst := codec.Encode(&block) // count zeros, decode, ...
+package mil
+
+import (
+	"fmt"
+
+	"mil/internal/bitblock"
+	"mil/internal/code"
+	"mil/internal/sim"
+	"mil/internal/workload"
+)
+
+// Block is a 512-bit cache block, the unit every codec operates on.
+type Block = bitblock.Block
+
+// Burst is the bit-level appearance of a coded block on the bus.
+type Burst = bitblock.Burst
+
+// Codec is a block coding scheme; see NewCodec.
+type Codec = code.Codec
+
+// SystemKind selects one of the evaluated platforms.
+type SystemKind = sim.SystemKind
+
+// The evaluated platforms of Table 2.
+const (
+	// Server is the Niagara-like microserver with DDR4-3200.
+	Server = sim.Server
+	// Mobile is the Snapdragon-like system with LPDDR3-1600.
+	Mobile = sim.Mobile
+)
+
+// Result is a finished simulation; see the sim package for field docs.
+type Result = sim.Result
+
+// Config describes one simulation run.
+type Config struct {
+	// System picks the platform (Server or Mobile).
+	System SystemKind
+	// Scheme is a coding configuration from Schemes().
+	Scheme string
+	// Benchmark is a workload from Benchmarks().
+	Benchmark string
+	// MemOpsPerThread sets the run length (0 = default).
+	MemOpsPerThread int64
+	// LookaheadX overrides MiL's look-ahead distance when > 0.
+	LookaheadX int
+	// Verify decodes and checks every burst (slower; for validation).
+	Verify bool
+}
+
+// Run executes one configuration to completion.
+func Run(cfg Config) (*Result, error) {
+	b, err := workload.ByName(cfg.Benchmark)
+	if err != nil {
+		return nil, fmt.Errorf("mil: %w", err)
+	}
+	return sim.Run(sim.Config{
+		System:          cfg.System,
+		Scheme:          cfg.Scheme,
+		Benchmark:       b,
+		MemOpsPerThread: cfg.MemOpsPerThread,
+		LookaheadX:      cfg.LookaheadX,
+		Verify:          cfg.Verify,
+	})
+}
+
+// Benchmarks lists the Table 3 workload suite.
+func Benchmarks() []string { return workload.Names() }
+
+// Schemes lists the coding configurations Run accepts.
+func Schemes() []string { return sim.SchemeNames() }
+
+// NewCodec constructs a standalone codec by name: "raw", "dbi", "milc",
+// "lwc3", or "cafoN".
+func NewCodec(name string) (Codec, error) { return code.ByName(name) }
+
+// BlockFromBytes builds a Block from up to 64 bytes (zero padded).
+func BlockFromBytes(p []byte) Block { return bitblock.FromBytes(p) }

@@ -1,0 +1,75 @@
+package mil_test
+
+import (
+	"testing"
+
+	"mil"
+)
+
+func TestFacadeRun(t *testing.T) {
+	res, err := mil.Run(mil.Config{
+		System: mil.Server, Scheme: "mil", Benchmark: "GUPS",
+		MemOpsPerThread: 200, Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mem.ColumnCommands() == 0 || res.SystemJ() <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
+func TestFacadeRejectsUnknownBenchmark(t *testing.T) {
+	if _, err := mil.Run(mil.Config{System: mil.Server, Scheme: "mil", Benchmark: "nope"}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestFacadeLists(t *testing.T) {
+	if len(mil.Benchmarks()) != 11 {
+		t.Fatalf("benchmarks = %v", mil.Benchmarks())
+	}
+	if len(mil.Schemes()) == 0 {
+		t.Fatal("no schemes")
+	}
+}
+
+func TestFacadeCodec(t *testing.T) {
+	c, err := mil.NewCodec("milc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := mil.BlockFromBytes([]byte("facade-level round trip check"))
+	if got := c.Decode(c.Encode(&blk)); got != blk {
+		t.Fatal("round trip failed")
+	}
+	if _, err := mil.NewCodec("bogus"); err == nil {
+		t.Fatal("bogus codec accepted")
+	}
+}
+
+func TestFacadeLookaheadOverride(t *testing.T) {
+	res, err := mil.Run(mil.Config{
+		System: mil.Server, Scheme: "mil", Benchmark: "MM",
+		MemOpsPerThread: 150, LookaheadX: 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPUCycles <= 0 {
+		t.Fatal("no cycles")
+	}
+}
+
+func TestMobileFacadeRun(t *testing.T) {
+	res, err := mil.Run(mil.Config{
+		System: mil.Mobile, Scheme: "baseline", Benchmark: "HISTOGRAM",
+		MemOpsPerThread: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mem.CostUnits == 0 {
+		t.Fatal("no IO cost accounted")
+	}
+}
