@@ -1,0 +1,40 @@
+# Tier-1 verification for the MiL simulator. `make verify` is the gate a
+# change must pass: build, vet, the full test suite, and the same suite
+# under the race detector (the simulator is single-threaded by design, so
+# any race is a bug in test plumbing or a future parallelization hazard).
+
+GO ?= go
+
+.PHONY: all build vet test race verify fuzz bench experiments clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: build vet test race
+
+# Short fuzz passes over the codec round-trip and corrupted-decode
+# properties; CI-sized, not exhaustive.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzRoundTrip -fuzztime=30s ./internal/code/
+	$(GO) test -run=NONE -fuzz=FuzzDecodeCorrupted -fuzztime=30s ./internal/code/
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Regenerate EXPERIMENTS.md (all figures and tables; slow).
+experiments:
+	$(GO) run ./cmd/milexp -out EXPERIMENTS.md
+
+clean:
+	$(GO) clean ./...

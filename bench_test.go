@@ -110,7 +110,7 @@ func benchRoundTrip(b *testing.B, c code.Codec) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		blk := &blocks[i%len(blocks)]
-		if got := c.Decode(c.Encode(blk)); got != *blk {
+		if got, err := c.Decode(c.Encode(blk)); err != nil || got != *blk {
 			b.Fatal("round trip failed")
 		}
 	}

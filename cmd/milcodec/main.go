@@ -57,8 +57,8 @@ func main() {
 			}
 			blk := bitblock.FromBytes(data[i*64 : end])
 			bu := c.Encode(&blk)
-			if got := c.Decode(bu); got != blk {
-				log.Fatalf("milcodec: %s corrupted block %d", c.Name(), i)
+			if got, err := c.Decode(bu); err != nil || got != blk {
+				log.Fatalf("milcodec: %s corrupted block %d (%v)", c.Name(), i, err)
 			}
 			zeros += int64(bu.CountZeros())
 			bits += int64(bu.TotalBits())

@@ -18,6 +18,8 @@ import (
 	"sort"
 	"strings"
 
+	"mil/internal/fault"
+	"mil/internal/memctrl"
 	"mil/internal/sim"
 	"mil/internal/workload"
 )
@@ -32,8 +34,24 @@ func main() {
 		verify = flag.Bool("verify", false, "decode and check every burst")
 		pd     = flag.Bool("powerdown", false, "enable the fast power-down extension")
 		trace  = flag.String("trace", "", "write a DRAM command trace to this file")
+
+		ber      = flag.Float64("ber", 0, "link bit-error rate per driven bit-time (0 = clean link)")
+		bursterr = flag.Float64("bursterr", 0, "per-transfer probability of a correlated error burst")
+		burstlen = flag.Int("burstlen", 0, "correlated error run length in beats (0 = default 4)")
+		stuckpin = flag.Int("stuckpin", -1, "bus pin stuck at -stuckval (-1 = none)")
+		stuckval = flag.Bool("stuckval", false, "level the stuck pin is read at")
+		writecrc = flag.Bool("writecrc", false, "enable DDR4 write CRC with NACK-and-replay (server only)")
+		caparity = flag.Bool("caparity", false, "enable DDR4 command/address parity (server only)")
+		retries  = flag.Int("retries", 0, "replay budget per request (0 = default 8)")
+		seed     = flag.Uint64("seed", 0, "run seed for streams and fault injection (0 = legacy streams)")
 	)
 	flag.Parse()
+
+	fc := fault.Config{BER: *ber, BurstRate: *bursterr, BurstLen: *burstlen}
+	if *stuckpin >= 0 {
+		fc.StuckPins = []int{*stuckpin}
+		fc.StuckVal = *stuckval
+	}
 
 	var traceW io.Writer
 	if *trace != "" {
@@ -71,6 +89,9 @@ func main() {
 			System: kind, Scheme: *scheme, Benchmark: b,
 			MemOpsPerThread: *ops, LookaheadX: *x, Verify: *verify,
 			PowerDown: *pd, Trace: traceW,
+			Fault: fc, WriteCRC: *writecrc, CAParity: *caparity,
+			Retry: memctrl.RetryConfig{MaxRetries: *retries},
+			Seed:  *seed,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "milsim:", err)
@@ -104,6 +125,18 @@ func report(r *sim.Result) {
 			fmt.Printf(" %s=%.1f%%", k, 100*float64(m.CodecBursts[k])/float64(m.ColumnCommands()))
 		}
 		fmt.Println()
+	}
+	// Reliability section, only when the link actually saw trouble (on a
+	// clean run the whole block is absent and the report matches the seed).
+	if m.BitErrors > 0 || m.Failures() > 0 || m.CRCBeats > 0 {
+		fmt.Printf("  link: bit-errors=%d silent=%d crc-alerts=%d ca-alerts=%d decode-fails=%d\n",
+			m.BitErrors, m.SilentErrors, m.WriteCRCAlerts, m.CAParityAlerts, m.ReadDecodeFailures)
+		fmt.Printf("  retry: writes=%d reads=%d exhausted=%d storms=%d wasted-beats=%d retry-energy=%.3g J\n",
+			m.WriteRetries, m.ReadRetries, m.RetriesExhausted, m.RetryStorms, m.RetryBeats, r.RetryJ)
+		if m.CRCBeats > 0 {
+			fmt.Printf("  write-crc: extra-beats=%d (%.1f%% of data beats)\n",
+				m.CRCBeats, 100*float64(m.CRCBeats)/float64(max64(m.BurstBeats-m.CRCBeats, 1)))
+		}
 	}
 	d := r.DRAM
 	fmt.Printf("  dram energy: total=%.3g J  background=%.1f%% act=%.1f%% rdwr=%.1f%% ref=%.1f%% io=%.1f%% codec=%.1f%%\n",

@@ -38,8 +38,8 @@ func main() {
 				log.Fatal(err)
 			}
 			burst := c.Encode(&blk)
-			if got := c.Decode(burst); got != blk {
-				log.Fatalf("%s failed to round-trip %s", s, name)
+			if got, err := c.Decode(burst); err != nil || got != blk {
+				log.Fatalf("%s failed to round-trip %s (%v)", s, name, err)
 			}
 			fmt.Printf("%7d/%-2d", burst.CountZeros(), burst.Beats)
 		}

@@ -179,9 +179,13 @@ func (c CAFO) Encode(blk *bitblock.Block) *bitblock.Burst {
 	return bu
 }
 
-// Decode implements Codec.
-func (CAFO) Decode(bu *bitblock.Burst) bitblock.Block {
+// Decode implements Codec. Like MiLC, every flag combination is valid, so
+// only dimension mismatches are detectable.
+func (CAFO) Decode(bu *bitblock.Burst) (bitblock.Block, error) {
 	var blk bitblock.Block
+	if err := checkDims("cafo", bu, 10); err != nil {
+		return blk, err
+	}
 	for ch := 0; ch < bitblock.Chips; ch++ {
 		cw := bitblock.NewBits(80)
 		for beat := 0; beat < 10; beat++ {
@@ -189,5 +193,5 @@ func (CAFO) Decode(bu *bitblock.Burst) bitblock.Block {
 		}
 		blk.SetLane(ch, cafoDecodeLane(cw))
 	}
-	return blk
+	return blk, nil
 }

@@ -49,8 +49,8 @@ func TestCodecRoundTrip(t *testing.T) {
 		t.Run(c.Name(), func(t *testing.T) {
 			f := func(raw [64]byte) bool {
 				blk := bitblock.Block(raw)
-				out := c.Decode(c.Encode(&blk))
-				return out == blk
+				out, err := c.Decode(c.Encode(&blk))
+				return err == nil && out == blk
 			}
 			if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 				t.Fatal(err)
@@ -92,7 +92,7 @@ func TestCodecRoundTripStructuredData(t *testing.T) {
 	for _, c := range allCodecs(t) {
 		for i, p := range patterns {
 			blk := bitblock.Block(p)
-			if out := c.Decode(c.Encode(&blk)); out != blk {
+			if out, err := c.Decode(c.Encode(&blk)); err != nil || out != blk {
 				t.Errorf("%s: pattern %d did not round-trip", c.Name(), i)
 			}
 		}

@@ -43,7 +43,25 @@ type Codec interface {
 	// Encode produces the burst that appears on the bus for blk.
 	Encode(blk *bitblock.Block) *bitblock.Burst
 	// Decode recovers the original block from a burst produced by Encode.
-	Decode(bu *bitblock.Burst) bitblock.Block
+	// Bursts Encode never produces - wrong dimensions, or bit patterns
+	// outside the code (possible after transmission errors) - yield an
+	// error, never a panic: decoders are the first line of corruption
+	// detection on the read path, where DDR4 has no CRC.
+	Decode(bu *bitblock.Burst) (bitblock.Block, error)
+}
+
+// checkDims validates a burst's shape against what a codec's Decode
+// expects; every decoder calls it before touching bits so corrupted or
+// misrouted bursts surface as errors instead of index panics.
+func checkDims(name string, bu *bitblock.Burst, beats int) error {
+	if bu == nil {
+		return fmt.Errorf("code: %s decode of nil burst", name)
+	}
+	if bu.Width != BusWidth || bu.Beats != beats {
+		return fmt.Errorf("code: %s decode of %dx%d burst, want %dx%d",
+			name, bu.Width, bu.Beats, BusWidth, beats)
+	}
+	return nil
 }
 
 // chipDataPin returns the global pin index of data pin i of chip c.

@@ -1,0 +1,145 @@
+package code
+
+import "mil/internal/bitblock"
+
+// DDR4 write CRC (JEDEC optional feature, modeled by dram.Reliability):
+// the controller computes a CRC-8 per device over the write burst and
+// appends it in extra beats; the device recomputes and pulls ALERT_n low
+// on mismatch, NACKing the write. The functions here implement the bit
+// layer generically over any coded burst: each chip's CRC-8 covers every
+// driven bit-time of the chip's 9-pin group across the data beats, and the
+// appended beats carry the 8 CRC bits on the chip's data pins with the
+// remaining extra bit-times driven high (free on a POD interface, matching
+// how the codecs pad).
+
+// crc8Poly is the ATM-8 HEC polynomial x^8 + x^2 + x + 1 JEDEC specifies
+// for DDR4 write CRC.
+const crc8Poly = 0x07
+
+// crc8Table is the byte-at-a-time lookup table for crc8Poly.
+var crc8Table = func() [256]byte {
+	var t [256]byte
+	for i := 0; i < 256; i++ {
+		c := byte(i)
+		for b := 0; b < 8; b++ {
+			if c&0x80 != 0 {
+				c = c<<1 ^ crc8Poly
+			} else {
+				c <<= 1
+			}
+		}
+		t[i] = c
+	}
+	return t
+}()
+
+// chipCRC computes chip c's CRC-8 over the first dataBeats beats of bu.
+// Undriven pins contribute a constant 1 (their parked level) so the CRC is
+// well defined for codecs that park the DBI pin.
+func chipCRC(bu *bitblock.Burst, c, dataBeats int) byte {
+	crc := byte(0)
+	for beat := 0; beat < dataBeats; beat++ {
+		var v byte
+		for i := 0; i < PinsPerChip; i++ {
+			pin := chipDataPin(c, i)
+			bit := true
+			if bu.Driven(pin) {
+				bit = bu.Bit(beat, pin)
+			}
+			if bit {
+				v |= 1 << (i % 8)
+			}
+			if i%8 == 7 || i == PinsPerChip-1 {
+				crc = crc8Table[crc^v]
+				v = 0
+			}
+		}
+	}
+	return crc
+}
+
+// AppendWriteCRC returns a copy of bu extended by extraBeats beats carrying
+// each chip's CRC-8 on its data pins; surplus bit-times in the CRC beats
+// are driven high. extraBeats must be even and >= 2 (the dram.Reliability
+// default is 2, matching JEDEC's BL8-to-BL10 extension).
+func AppendWriteCRC(bu *bitblock.Burst, extraBeats int) *bitblock.Burst {
+	if extraBeats < 2 || extraBeats%2 != 0 {
+		panic("code: write CRC extra beats must be even and >= 2")
+	}
+	out := bitblock.NewBurst(bu.Width, bu.Beats+extraBeats)
+	for p := 0; p < bu.Width; p++ {
+		out.SetDriven(p, bu.Driven(p))
+	}
+	for beat := 0; beat < bu.Beats; beat++ {
+		for p := 0; p < bu.Width; p++ {
+			if bu.Driven(p) {
+				out.SetBit(beat, p, bu.Bit(beat, p))
+			}
+		}
+	}
+	for beat := bu.Beats; beat < out.Beats; beat++ {
+		for p := 0; p < bu.Width; p++ {
+			if out.Driven(p) {
+				out.SetBit(beat, p, true) // idle-high default
+			}
+		}
+	}
+	for c := 0; c < bitblock.Chips; c++ {
+		crc := chipCRC(bu, c, bu.Beats)
+		for i := 0; i < 8; i++ {
+			pin := chipDataPin(c, i)
+			if out.Driven(pin) {
+				out.SetBit(bu.Beats, pin, crc>>i&1 == 1)
+			}
+		}
+	}
+	return out
+}
+
+// CheckWriteCRC recomputes each chip's CRC over the data beats of a burst
+// produced by AppendWriteCRC (possibly corrupted in transit) and reports
+// whether every chip's received CRC matches - the device-side ALERT_n
+// decision. Multi-bit corruption that aliases a chip's CRC-8 (about 1 in
+// 256 random patterns) passes undetected, exactly as in hardware.
+func CheckWriteCRC(bu *bitblock.Burst, extraBeats int) bool {
+	dataBeats := bu.Beats - extraBeats
+	if dataBeats <= 0 {
+		return false
+	}
+	for c := 0; c < bitblock.Chips; c++ {
+		want := chipCRC(bu, c, dataBeats)
+		var got byte
+		for i := 0; i < 8; i++ {
+			pin := chipDataPin(c, i)
+			bit := true
+			if bu.Driven(pin) {
+				bit = bu.Bit(dataBeats, pin)
+			}
+			if bit {
+				got |= 1 << i
+			}
+		}
+		if got != want {
+			return false
+		}
+	}
+	return true
+}
+
+// StripWriteCRC returns the data-beat prefix of a CRC-extended burst, the
+// burst the device decodes after a passing CRC check.
+func StripWriteCRC(bu *bitblock.Burst, extraBeats int) *bitblock.Burst {
+	dataBeats := bu.Beats - extraBeats
+	out := bitblock.NewBurst(bu.Width, dataBeats)
+	for p := 0; p < bu.Width; p++ {
+		out.SetDriven(p, bu.Driven(p))
+	}
+	for beat := 0; beat < dataBeats; beat++ {
+		for p := 0; p < bu.Width; p++ {
+			if bu.Driven(p) {
+				out.SetBit(beat, p, bu.Bit(beat, p))
+			}
+		}
+	}
+	return out
+}

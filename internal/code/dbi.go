@@ -33,15 +33,19 @@ func (Raw) Encode(blk *bitblock.Block) *bitblock.Burst {
 	return bu
 }
 
-// Decode implements Codec.
-func (Raw) Decode(bu *bitblock.Burst) bitblock.Block {
+// Decode implements Codec. Raw cannot detect corruption: every burst
+// pattern is a valid encoding.
+func (Raw) Decode(bu *bitblock.Burst) (bitblock.Block, error) {
 	var blk bitblock.Block
+	if err := checkDims("raw", bu, 8); err != nil {
+		return blk, err
+	}
 	for beat := 0; beat < 8; beat++ {
 		for c := 0; c < bitblock.Chips; c++ {
 			blk[beat*bitblock.Chips+c] = byte(bu.BeatBits(beat, chipDataPin(c, 0), 8))
 		}
 	}
-	return blk
+	return blk, nil
 }
 
 // DBI is the data bus inversion code DDR4 natively supports (Section
@@ -89,14 +93,18 @@ func (DBI) Encode(blk *bitblock.Block) *bitblock.Burst {
 	return bu
 }
 
-// Decode implements Codec.
-func (DBI) Decode(bu *bitblock.Burst) bitblock.Block {
+// Decode implements Codec. DBI cannot detect corruption: every 9-bit
+// group decodes to some byte.
+func (DBI) Decode(bu *bitblock.Burst) (bitblock.Block, error) {
 	var blk bitblock.Block
+	if err := checkDims("dbi", bu, 8); err != nil {
+		return blk, err
+	}
 	for beat := 0; beat < 8; beat++ {
 		for c := 0; c < bitblock.Chips; c++ {
 			wire := byte(bu.BeatBits(beat, chipDataPin(c, 0), 8))
 			blk[beat*bitblock.Chips+c] = dbiDecodeByte(wire, bu.Bit(beat, chipDBIPin(c)))
 		}
 	}
-	return blk
+	return blk, nil
 }

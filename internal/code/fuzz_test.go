@@ -1,0 +1,83 @@
+package code
+
+import (
+	"testing"
+
+	"mil/internal/bitblock"
+)
+
+// fuzzCodecs are the schemes whose round-trip the fuzzers pin down: the
+// three MiL building blocks plus the raw and hybrid paths.
+func fuzzCodecs() []Codec {
+	return []Codec{LWC3{}, MiLC{}, DBI{}, Raw{}, Hybrid{}}
+}
+
+func fuzzBlock(raw []byte) bitblock.Block {
+	var blk bitblock.Block
+	copy(blk[:], raw)
+	return blk
+}
+
+// FuzzRoundTrip asserts decode(encode(x)) == x for every codec on
+// arbitrary blocks - the correctness contract everything else (verifying
+// phys, write commit, silent-error detection) rests on.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(make([]byte, 64))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog, twice over again!!!"))
+	all := make([]byte, 64)
+	for i := range all {
+		all[i] = 0xff
+	}
+	f.Add(all)
+	sparse := make([]byte, 64)
+	sparse[0], sparse[31], sparse[63] = 0x01, 0x80, 0x42
+	f.Add(sparse)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		blk := fuzzBlock(raw)
+		for _, c := range fuzzCodecs() {
+			bu := c.Encode(&blk)
+			got, err := c.Decode(bu)
+			if err != nil {
+				t.Fatalf("%s: decode of own encoding failed: %v", c.Name(), err)
+			}
+			if got != blk {
+				t.Fatalf("%s: round-trip mismatch", c.Name())
+			}
+		}
+	})
+}
+
+// FuzzDecodeCorrupted asserts the decoders are total over corrupted bursts:
+// any pattern of wire flips yields either an error or a (possibly wrong)
+// block - never a panic. The controller's retry path relies on decode
+// errors being reported, not thrown.
+func FuzzDecodeCorrupted(f *testing.F) {
+	f.Add(make([]byte, 64), uint64(0), uint8(3))
+	f.Add(make([]byte, 64), uint64(0xdeadbeef), uint8(17))
+	f.Fuzz(func(t *testing.T, raw []byte, seed uint64, nflips uint8) {
+		blk := fuzzBlock(raw)
+		for _, c := range fuzzCodecs() {
+			bu := c.Encode(&blk)
+			// Deterministic splitmix-style flip positions from the seed.
+			s := seed
+			for i := 0; i < int(nflips); i++ {
+				s += 0x9e3779b97f4a7c15
+				z := s
+				z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+				z = (z ^ z>>27) * 0x94d049bb133111eb
+				z ^= z >> 31
+				beat := int(z % uint64(bu.Beats))
+				pin := int(z >> 32 % uint64(bu.Width))
+				if !bu.Driven(pin) {
+					continue
+				}
+				bu.SetBit(beat, pin, !bu.Bit(beat, pin))
+			}
+			got, err := c.Decode(bu)
+			if err != nil {
+				continue // detected: the retry path handles it
+			}
+			_ = got // silent or clean: both legal outcomes of corruption
+		}
+	})
+}

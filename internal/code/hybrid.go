@@ -1,6 +1,10 @@
 package code
 
-import "mil/internal/bitblock"
+import (
+	"fmt"
+
+	"mil/internal/bitblock"
+)
 
 // Hybrid is the intermediate-length sparse code Section 7.5.3 calls for:
 // the data-intensive benchmarks cannot afford 3-LWC's BL16 but waste the
@@ -74,8 +78,9 @@ func hybridEncodeLane(lane uint64) *bitblock.Bits {
 	return out
 }
 
-// hybridDecodeLane inverts hybridEncodeLane.
-func hybridDecodeLane(cw *bitblock.Bits) uint64 {
+// hybridDecodeLane inverts hybridEncodeLane. Corruption in the 3-LWC half
+// of the lane is detectable (sparse codeword space); the MiLC half is not.
+func hybridDecodeLane(cw *bitblock.Bits) (uint64, error) {
 	var lane uint64
 	xorbi := cw.Get(8)
 	invertColumn := !xorbi
@@ -101,11 +106,11 @@ func hybridDecodeLane(cw *bitblock.Bits) uint64 {
 		w := uint32(^cw.Uint64(40+(r-4)*lwcWordBits, lwcWordBits)) & 0x1ffff
 		d, err := lwcDecodeWord(w)
 		if err != nil {
-			panic(err)
+			return 0, err
 		}
 		lane |= uint64(d) << (8 * r)
 	}
-	return lane
+	return lane, nil
 }
 
 // Encode implements Codec.
@@ -122,14 +127,21 @@ func (Hybrid) Encode(blk *bitblock.Block) *bitblock.Burst {
 }
 
 // Decode implements Codec.
-func (Hybrid) Decode(bu *bitblock.Burst) bitblock.Block {
+func (Hybrid) Decode(bu *bitblock.Burst) (bitblock.Block, error) {
 	var blk bitblock.Block
+	if err := checkDims("hybrid", bu, 14); err != nil {
+		return blk, err
+	}
 	for c := 0; c < bitblock.Chips; c++ {
 		cw := bitblock.NewBits(hybridLaneBits)
 		for beat := 0; beat < 14; beat++ {
 			cw.Append(bu.BeatBits(beat, chipDataPin(c, 0), 8), 8)
 		}
-		blk.SetLane(c, hybridDecodeLane(cw))
+		lane, err := hybridDecodeLane(cw)
+		if err != nil {
+			return blk, fmt.Errorf("code: hybrid chip %d: %w", c, err)
+		}
+		blk.SetLane(c, lane)
 	}
-	return blk
+	return blk, nil
 }

@@ -11,8 +11,8 @@ import (
 func TestHybridRoundTrip(t *testing.T) {
 	f := func(raw [64]byte) bool {
 		blk := bitblock.Block(raw)
-		out := Hybrid{}.Decode(Hybrid{}.Encode(&blk))
-		return out == blk
+		out, err := Hybrid{}.Decode(Hybrid{}.Encode(&blk))
+		return err == nil && out == blk
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
 		t.Fatal(err)
@@ -23,8 +23,8 @@ func TestHybridLaneRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	for n := 0; n < 5000; n++ {
 		lane := rng.Uint64()
-		if got := hybridDecodeLane(hybridEncodeLane(lane)); got != lane {
-			t.Fatalf("lane %016x decoded to %016x", lane, got)
+		if got, err := hybridDecodeLane(hybridEncodeLane(lane)); err != nil || got != lane {
+			t.Fatalf("lane %016x decoded to %016x (%v)", lane, got, err)
 		}
 	}
 }

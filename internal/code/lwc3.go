@@ -128,9 +128,15 @@ func (LWC3) Encode(blk *bitblock.Block) *bitblock.Burst {
 	return bu
 }
 
-// Decode implements Codec.
-func (LWC3) Decode(bu *bitblock.Burst) bitblock.Block {
+// Decode implements Codec. The 3-LWC codeword space is sparse (at most 3
+// of 17 transmitted zeros), so most wire corruption lands outside the code
+// and is reported as an error - the detection capability the MiL
+// degradation ladder relies on for reads.
+func (LWC3) Decode(bu *bitblock.Burst) (bitblock.Block, error) {
 	var blk bitblock.Block
+	if err := checkDims("lwc3", bu, 16); err != nil {
+		return blk, err
+	}
 	for c := 0; c < bitblock.Chips; c++ {
 		lane := bitblock.NewBits(laneWordBits)
 		for beat := 0; beat < 16; beat++ {
@@ -140,11 +146,11 @@ func (LWC3) Decode(bu *bitblock.Burst) bitblock.Block {
 			w := uint32(^lane.Uint64(b*lwcWordBits, lwcWordBits)) & 0x1ffff
 			d, err := lwcDecodeWord(w)
 			if err != nil {
-				// Encode never produces such words; treat as data corruption.
-				panic(err)
+				// Encode never produces such words: data corruption.
+				return blk, fmt.Errorf("chip %d byte %d: %w", c, b, err)
 			}
 			blk[b*bitblock.Chips+c] = d
 		}
 	}
-	return blk
+	return blk, nil
 }

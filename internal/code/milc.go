@@ -162,9 +162,14 @@ func (MiLC) Encode(blk *bitblock.Block) *bitblock.Burst {
 	return bu
 }
 
-// Decode implements Codec.
-func (MiLC) Decode(bu *bitblock.Burst) bitblock.Block {
+// Decode implements Codec. MiLC's 80-bit codeword space is dense (every
+// mode-bit combination is meaningful), so corruption decodes to a wrong
+// block silently; only dimension mismatches are detectable.
+func (MiLC) Decode(bu *bitblock.Burst) (bitblock.Block, error) {
 	var blk bitblock.Block
+	if err := checkDims("milc", bu, 10); err != nil {
+		return blk, err
+	}
 	for c := 0; c < bitblock.Chips; c++ {
 		cw := bitblock.NewBits(80)
 		for beat := 0; beat < 10; beat++ {
@@ -172,5 +177,5 @@ func (MiLC) Decode(bu *bitblock.Burst) bitblock.Block {
 		}
 		blk.SetLane(c, milcDecodeLane(cw))
 	}
-	return blk
+	return blk, nil
 }

@@ -1,0 +1,90 @@
+package dram
+
+import "fmt"
+
+// Reliability models the DDR4 RAS features the link-level fault story
+// rests on: write CRC (JEDEC DDR4 optional feature: the controller appends
+// a per-device CRC to every write burst, the device checks it and pulls
+// ALERT_n low on mismatch) and command/address parity (the device checks
+// even parity over the CA bus and rejects the command, again via ALERT_n).
+// Both are NACK-and-replay mechanisms - the device never applies a transfer
+// it flagged - so the controller's retry path (package memctrl) drives
+// recovery. All latencies are in DRAM clock cycles, following the Table 2
+// idiom of expressing the spec's nanosecond windows in cycles of the
+// modeled device.
+type Reliability struct {
+	// WriteCRC enables per-write CRC: every write burst is extended by
+	// CRCExtraBeats beats carrying each chip's CRC-8.
+	WriteCRC bool
+	// CRCExtraBeats is the burst-length overhead of write CRC. JEDEC
+	// extends BL8 to BL10 - two extra beats - and the same two beats cover
+	// the longer MiL bursts here (0 selects the default of 2).
+	CRCExtraBeats int
+	// CRCAlertCycles is the delay from the end of a bad write burst to the
+	// controller observing ALERT_n (tCRC_ALERT, roughly 3-13ns; ~16 cycles
+	// at DDR4-3200).
+	CRCAlertCycles int
+
+	// CAParity enables command/address parity checking.
+	CAParity bool
+	// CABits is the number of command/address bits covered per command
+	// (DDR4 parity covers ACT_n, RAS/CAS/WE and the address pins; ~26
+	// signals; 0 selects the default of 26).
+	CABits int
+	// CAAlertCycles is the delay from a rejected command to the controller
+	// observing ALERT_n (tPAR_ALERT_ON plus recovery; ~24 cycles at
+	// DDR4-3200).
+	CAAlertCycles int
+}
+
+// Enabled reports whether any reliability feature is on.
+func (r *Reliability) Enabled() bool { return r.WriteCRC || r.CAParity }
+
+// ExtraWriteBeats returns the burst-length overhead writes pay, with the
+// default applied; zero when write CRC is off.
+func (r *Reliability) ExtraWriteBeats() int {
+	if !r.WriteCRC {
+		return 0
+	}
+	if r.CRCExtraBeats <= 0 {
+		return 2
+	}
+	return r.CRCExtraBeats
+}
+
+// CommandBits returns the CA bits covered per command, with the default
+// applied; zero when CA parity is off.
+func (r *Reliability) CommandBits() int {
+	if !r.CAParity {
+		return 0
+	}
+	if r.CABits <= 0 {
+		return 26
+	}
+	return r.CABits
+}
+
+// Validate reports configuration errors.
+func (r *Reliability) Validate() error {
+	switch {
+	case r.CRCExtraBeats < 0 || r.CRCExtraBeats%2 != 0:
+		return fmt.Errorf("dram: CRC extra beats %d must be even and >= 0", r.CRCExtraBeats)
+	case r.CRCAlertCycles < 0:
+		return fmt.Errorf("dram: CRC alert latency %d < 0", r.CRCAlertCycles)
+	case r.CABits < 0:
+		return fmt.Errorf("dram: CA bits %d < 0", r.CABits)
+	case r.CAAlertCycles < 0:
+		return fmt.Errorf("dram: CA alert latency %d < 0", r.CAAlertCycles)
+	}
+	return nil
+}
+
+// DDR4Reliability returns the evaluated DDR4-3200 RAS configuration: write
+// CRC with the JEDEC two-beat overhead and CA parity, with alert windows
+// expressed in DDR4-3200 cycles.
+func DDR4Reliability() Reliability {
+	return Reliability{
+		WriteCRC: true, CRCExtraBeats: 2, CRCAlertCycles: 16,
+		CAParity: true, CABits: 26, CAAlertCycles: 24,
+	}
+}

@@ -222,6 +222,15 @@ func DRAMEnergy(power DRAMPower, dev dram.Config, channels int, s *memctrl.Stats
 	return b, nil
 }
 
+// RetryEnergyJ returns the IO energy wasted on bursts that ended NACKed and
+// had to be replayed. It is a subset of Breakdown.IO - CostUnits already
+// charges every burst put on the wire, including failed transfers, their
+// replays, and write-CRC beats - broken out so fault experiments can report
+// the reliability tax separately.
+func RetryEnergyJ(power DRAMPower, s *memctrl.Stats) float64 {
+	return power.IOEnergyPJ * 1e-12 * float64(s.RetryCostUnits)
+}
+
 // CPUPower is the McPAT-like envelope for the cores, caches, and uncore.
 // Energy = StaticW x time + DynPJPerInstr x instructions. The constants are
 // calibrated so DRAM contributes the share of system energy the paper's

@@ -33,6 +33,7 @@ func Generators() []Generator {
 		{"Extension 2", func(r *Runner) (*Table, error) { return r.Extension2() }},
 		{"Extension 3", func(r *Runner) (*Table, error) { return r.Extension3() }},
 		{"Extension 4", func(r *Runner) (*Table, error) { return r.Extension4() }},
+		{"Extension 5", func(r *Runner) (*Table, error) { return r.FaultSweep() }},
 	}
 }
 

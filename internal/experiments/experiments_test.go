@@ -18,6 +18,7 @@ func TestGeneratorsCoverEveryTableAndFigure(t *testing.T) {
 		"Figure 17(a)", "Figure 17(b)", "Figure 18(a)", "Figure 18(b)",
 		"Figure 19(a)", "Figure 19(b)", "Figure 20", "Figure 21", "Figure 22",
 		"Extension 1", "Extension 2", "Extension 3", "Extension 4",
+		"Extension 5",
 	}
 	gens := Generators()
 	if len(gens) != len(want) {
@@ -186,4 +187,31 @@ func fmtSscanPct(s string, v *float64) (int, error) {
 // sscan wraps fmt.Sscanf for the cell parsers above.
 func sscan(s string, v *float64) (int, error) {
 	return fmt.Sscanf(s, "%f", v)
+}
+
+func TestFaultSweepShape(t *testing.T) {
+	tab, err := tinyRunner().FaultSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "Extension 5" {
+		t.Fatalf("id %q", tab.ID)
+	}
+	if len(tab.Rows) != 16 { // 4 schemes x 4 BERs
+		t.Fatalf("%d rows, want 16", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("ragged row %v", row)
+		}
+		// The BER=0 rows are the clean anchors: no failures, unit ratios.
+		if row[1] == "0e+00" {
+			if row[5] != "0" || row[6] != "0" {
+				t.Fatalf("clean row reports failures: %v", row)
+			}
+			if row[10] != "1.000" || row[11] != "1.000" {
+				t.Fatalf("clean row not its own anchor: %v", row)
+			}
+		}
+	}
 }

@@ -57,7 +57,8 @@ type Runner struct {
 	// Progress, when non-nil, receives one line per fresh simulation.
 	Progress io.Writer
 
-	cache map[runKey]*sim.Result
+	cache      map[runKey]*sim.Result
+	faultCache map[faultKey]*sim.Result
 }
 
 // NewRunner returns a runner with the given run length (0 = default).

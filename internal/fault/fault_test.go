@@ -1,0 +1,220 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"mil/internal/bitblock"
+)
+
+// randomBurst builds a fully driven 72x10 burst with random contents.
+func randomBurst(rng *rand.Rand) *bitblock.Burst {
+	bu := bitblock.NewBurst(72, 10)
+	for p := 0; p < bu.Width; p++ {
+		bu.SetDriven(p, true)
+	}
+	for b := 0; b < bu.Beats; b++ {
+		for p := 0; p < bu.Width; p++ {
+			bu.SetBit(b, p, rng.Intn(2) == 1)
+		}
+	}
+	return bu
+}
+
+func cloneBurst(bu *bitblock.Burst) *bitblock.Burst {
+	out := bitblock.NewBurst(bu.Width, bu.Beats)
+	for p := 0; p < bu.Width; p++ {
+		out.SetDriven(p, bu.Driven(p))
+	}
+	for b := 0; b < bu.Beats; b++ {
+		for p := 0; p < bu.Width; p++ {
+			out.SetBit(b, p, bu.Bit(b, p))
+		}
+	}
+	return out
+}
+
+func diffBits(a, b *bitblock.Burst) int {
+	n := 0
+	for beat := 0; beat < a.Beats; beat++ {
+		for p := 0; p < a.Width; p++ {
+			if a.Bit(beat, p) != b.Bit(beat, p) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestDisabledInjectorIsNoOp(t *testing.T) {
+	inj, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj != nil {
+		t.Fatalf("disabled config built an injector: %+v", inj)
+	}
+	// The nil injector must be safe and inert.
+	if inj.Enabled() || inj.Flips() != 0 || inj.CommandError(26) {
+		t.Fatal("nil injector not inert")
+	}
+	rng := rand.New(rand.NewSource(1))
+	bu := randomBurst(rng)
+	ref := cloneBurst(bu)
+	if n := inj.Corrupt(bu); n != 0 {
+		t.Fatalf("nil injector flipped %d bits", n)
+	}
+	if diffBits(bu, ref) != 0 {
+		t.Fatal("nil injector mutated the burst")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{BER: 1e-2, BurstRate: 0.1, BurstLen: 3, Seed: 99}
+	run := func() []int {
+		inj := MustNew(cfg)
+		rng := rand.New(rand.NewSource(7))
+		var flips []int
+		for i := 0; i < 200; i++ {
+			flips = append(flips, inj.Corrupt(randomBurst(rng)))
+		}
+		return flips
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("transfer %d: %d flips vs %d", i, a[i], b[i])
+		}
+	}
+	// A different seed must give a different corruption stream.
+	inj := MustNew(cfg.WithSeed(100))
+	rng := rand.New(rand.NewSource(7))
+	same := true
+	for i := 0; i < 200; i++ {
+		if inj.Corrupt(randomBurst(rng)) != a[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 99 and 100 produced identical corruption")
+	}
+}
+
+func TestBERFlipCount(t *testing.T) {
+	const p = 1e-2
+	inj := MustNew(Config{BER: p, Seed: 5})
+	rng := rand.New(rand.NewSource(3))
+	transfers, bits := 5000, 72*10
+	for i := 0; i < transfers; i++ {
+		inj.Corrupt(randomBurst(rng))
+	}
+	want := p * float64(transfers*bits)
+	got := float64(inj.Flips())
+	if got < want*0.9 || got > want*1.1 {
+		t.Fatalf("BER %g over %d bits: %v flips, want ~%v", p, transfers*bits, got, want)
+	}
+}
+
+func TestUndrivenPinsUntouched(t *testing.T) {
+	inj := MustNew(Config{BER: 0.5, StuckPins: []int{3}, StuckVal: true, Seed: 1})
+	bu := bitblock.NewBurst(72, 8)
+	for p := 0; p < 72; p++ {
+		bu.SetDriven(p, p == 3) // only pin 3 carries data
+	}
+	inj.Corrupt(bu)
+	for beat := 0; beat < bu.Beats; beat++ {
+		if !bu.Bit(beat, 3) {
+			t.Fatalf("stuck-high pin 3 reads low at beat %d", beat)
+		}
+	}
+	// All-parked burst: nothing to corrupt.
+	parked := bitblock.NewBurst(72, 8)
+	for p := 0; p < 72; p++ {
+		parked.SetDriven(p, false)
+	}
+	if n := inj.Corrupt(parked); n != 0 {
+		t.Fatalf("corrupted %d bits of a fully parked burst", n)
+	}
+}
+
+func TestStuckLane(t *testing.T) {
+	inj := MustNew(Config{StuckPins: []int{10}, StuckVal: false, Seed: 2})
+	rng := rand.New(rand.NewSource(9))
+	bu := randomBurst(rng)
+	inj.Corrupt(bu)
+	for beat := 0; beat < bu.Beats; beat++ {
+		if bu.Bit(beat, 10) {
+			t.Fatalf("stuck-low pin 10 reads high at beat %d", beat)
+		}
+	}
+}
+
+func TestBurstErrors(t *testing.T) {
+	inj := MustNew(Config{BurstRate: 0.999, BurstLen: 4, Seed: 3})
+	rng := rand.New(rand.NewSource(11))
+	var bu, ref *bitblock.Burst
+	n := 0
+	for i := 0; i < 100 && n == 0; i++ { // rate < 1, so loop to the first event
+		bu = randomBurst(rng)
+		ref = cloneBurst(bu)
+		n = inj.Corrupt(bu)
+	}
+	if n != 4 {
+		t.Fatalf("burst event flipped %d bits, want 4", n)
+	}
+	// All flips must land on one pin, in consecutive beats.
+	pin, first, last := -1, -1, -1
+	for beat := 0; beat < bu.Beats; beat++ {
+		for p := 0; p < bu.Width; p++ {
+			if bu.Bit(beat, p) != ref.Bit(beat, p) {
+				if pin < 0 {
+					pin, first = p, beat
+				} else if p != pin {
+					t.Fatalf("burst error spread over pins %d and %d", pin, p)
+				}
+				last = beat
+			}
+		}
+	}
+	if last-first != 3 {
+		t.Fatalf("burst error run spans beats %d..%d, want 4 consecutive", first, last)
+	}
+}
+
+func TestCommandErrorRate(t *testing.T) {
+	inj := MustNew(Config{BER: 1e-3, Seed: 4})
+	n, hits := 20000, 0
+	for i := 0; i < n; i++ {
+		if inj.CommandError(26) {
+			hits++
+		}
+	}
+	// p = 1-(1-1e-3)^26 ~ 0.0257
+	want := 0.0257 * float64(n)
+	if float64(hits) < want*0.8 || float64(hits) > want*1.2 {
+		t.Fatalf("CA error rate: %d hits of %d, want ~%v", hits, n, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{BER: -0.1},
+		{BER: 1},
+		{BurstRate: 1.5},
+		{StuckPins: []int{-1}},
+		{StuckPins: []int{128}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d (%+v) accepted", i, cfg)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New accepted config %d (%+v)", i, cfg)
+		}
+	}
+	good := Config{BER: 1e-6, BurstRate: 0.01, StuckPins: []int{0, 71}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}

@@ -20,6 +20,69 @@ type PowerDownConfig struct {
 	XP         int // exit latency in DRAM cycles
 }
 
+// RetryConfig bounds the NACK-and-replay path. Zero fields select the
+// defaults; the zero value is a fully usable configuration.
+type RetryConfig struct {
+	// MaxRetries is the replay budget per request; past it the request is
+	// abandoned (counted in RetriesExhausted) rather than retried forever
+	// (0 selects the default of 8).
+	MaxRetries int
+	// BackoffBase is the first replay delay in DRAM cycles, doubled per
+	// retry of the same request (0 selects the default of 4).
+	BackoffBase int
+	// BackoffMax caps the per-request exponential backoff (0 selects the
+	// default of 256).
+	BackoffMax int
+	// StormThreshold is the number of consecutive channel-wide failures
+	// past which the controller assumes a persistent fault and quadruples
+	// every backoff - the retry-storm guard (0 selects the default of 16).
+	StormThreshold int
+}
+
+// maxRetries, backoffBase, backoffMax, stormThreshold apply the defaults.
+func (r *RetryConfig) maxRetries() int {
+	if r.MaxRetries <= 0 {
+		return 8
+	}
+	return r.MaxRetries
+}
+
+func (r *RetryConfig) backoffBase() int {
+	if r.BackoffBase <= 0 {
+		return 4
+	}
+	return r.BackoffBase
+}
+
+func (r *RetryConfig) backoffMax() int {
+	if r.BackoffMax <= 0 {
+		return 256
+	}
+	return r.BackoffMax
+}
+
+func (r *RetryConfig) stormThreshold() int {
+	if r.StormThreshold <= 0 {
+		return 16
+	}
+	return r.StormThreshold
+}
+
+// Validate reports configuration errors.
+func (r *RetryConfig) Validate() error {
+	switch {
+	case r.MaxRetries < 0:
+		return fmt.Errorf("memctrl: max retries %d < 0", r.MaxRetries)
+	case r.BackoffBase < 0 || r.BackoffMax < 0:
+		return fmt.Errorf("memctrl: backoff %d/%d < 0", r.BackoffBase, r.BackoffMax)
+	case r.BackoffMax > 0 && r.BackoffBase > r.BackoffMax:
+		return fmt.Errorf("memctrl: backoff base %d > cap %d", r.BackoffBase, r.BackoffMax)
+	case r.StormThreshold < 0:
+		return fmt.Errorf("memctrl: storm threshold %d < 0", r.StormThreshold)
+	}
+	return nil
+}
+
 // Config parameterizes one channel's controller. The defaults mirror
 // Table 2: 64-entry queues, write-drain watermarks 60/50, FR-FCFS with an
 // open-page policy.
@@ -30,6 +93,11 @@ type Config struct {
 	DrainHigh  int
 	DrainLow   int
 	PowerDown  PowerDownConfig
+	// Reliability configures the DDR4 RAS features (write CRC, CA parity)
+	// whose NACKs drive the retry path. The zero value disables both.
+	Reliability dram.Reliability
+	// Retry bounds the replay of NACKed transfers.
+	Retry RetryConfig
 	// Trace receives one line per issued DRAM command when non-nil:
 	// "<cycle> ch<N> <command> [annotation]".
 	Trace io.Writer
@@ -54,7 +122,10 @@ func (c *Config) Validate() error {
 	case c.PowerDown.Enable && (c.PowerDown.IdleCycles <= 0 || c.PowerDown.XP <= 0):
 		return fmt.Errorf("memctrl: power-down idle %d / xp %d", c.PowerDown.IdleCycles, c.PowerDown.XP)
 	}
-	return nil
+	if err := c.Reliability.Validate(); err != nil {
+		return err
+	}
+	return c.Retry.Validate()
 }
 
 // demandEscalationAge is the queueing age (DRAM cycles) past which the
@@ -99,6 +170,9 @@ type Controller struct {
 	started  bool
 	banksTmp map[int]bool // scratch per-tick per-bank visited set
 	id       int          // channel index, for trace output
+
+	consecFail int  // consecutive link failures, channel-wide (storm guard)
+	inStorm    bool // currently past the storm threshold
 }
 
 // SetID labels the controller's trace lines with its channel index.
@@ -454,7 +528,7 @@ func (c *Controller) readyHitPass(active []*Request, write bool, now int64, keep
 		if keep != nil && !keep(req) {
 			continue
 		}
-		if c.rankBlocked(req.loc.Rank) {
+		if req.retryAt > now || c.rankBlocked(req.loc.Rank) {
 			continue
 		}
 		if row, open := c.ch.OpenRow(req.loc.Rank, req.loc.Group, req.loc.Bank); open && row == req.loc.Row {
@@ -483,7 +557,7 @@ func (c *Controller) fcfsPass(active []*Request, now int64, keep func(*Request) 
 			continue
 		}
 		c.banksTmp[bankID] = true
-		if c.rankBlocked(req.loc.Rank) {
+		if req.retryAt > now || c.rankBlocked(req.loc.Rank) {
 			continue
 		}
 		row, open := c.ch.OpenRow(req.loc.Rank, req.loc.Group, req.loc.Bank)
@@ -538,6 +612,9 @@ func (l lookahead) ColumnReadyWithin(x int) int {
 	n := 0
 	scan := func(reqs []*Request, write bool) {
 		for _, req := range reqs {
+			if req.retryAt > l.now {
+				continue // backing off; cannot become ready in the window
+			}
 			row, open := l.c.ch.OpenRow(req.loc.Rank, req.loc.Group, req.loc.Bank)
 			if !open || row != req.loc.Row {
 				continue
@@ -555,6 +632,11 @@ func (l lookahead) ColumnReadyWithin(x int) int {
 // issueColumn runs the coding decision, issues the column command, moves
 // the data, and records all statistics. idx is the request's position in
 // the active queue.
+//
+// On a faulty link the transfer can come back NACKed (device write-CRC or
+// CA parity via ALERT_n, or a controller-side read decode failure); the
+// burst's bus time and energy are then sunk cost, the request stays queued
+// in age order, and handleFailure schedules its replay.
 func (c *Controller) issueColumn(req *Request, idx int, write bool, now int64) {
 	var dataPtr *bitblock.Block
 	if write {
@@ -563,23 +645,24 @@ func (c *Controller) issueColumn(req *Request, idx int, write bool, now int64) {
 	codec := c.policy.Choose(write, dataPtr, lookahead{c: c, now: now})
 
 	kind := dram.RD
+	extraBeats := 0
 	if write {
 		kind = dram.WR
+		extraBeats = c.cfg.Reliability.ExtraWriteBeats()
 	}
 	cmd := dram.Command{
 		Kind: kind, Rank: req.loc.Rank, Group: req.loc.Group, Bank: req.loc.Bank,
-		Row: req.loc.Row, Beats: codec.Beats(), ExtraCAS: codec.ExtraLatency(),
+		Row: req.loc.Row, Beats: codec.Beats() + extraBeats, ExtraCAS: codec.ExtraLatency(),
 	}
 	info := c.ch.Issue(cmd, now)
 
 	var blk bitblock.Block
 	if write {
 		blk = req.Data
-		c.mem.WriteLine(req.Line, blk)
 	} else {
 		blk = c.mem.ReadLine(req.Line)
 	}
-	res := c.phy.Transmit(codec, &blk)
+	res := c.phy.Transmit(codec, &blk, write)
 	c.traceCmd(now, cmd, fmt.Sprintf("codec=%s zeros=%d", codec.Name(), res.Zeros))
 
 	c.stats.Zeros += int64(res.Zeros)
@@ -587,6 +670,11 @@ func (c *Controller) issueColumn(req *Request, idx int, write bool, now int64) {
 	c.stats.BurstBeats += int64(res.Beats)
 	c.stats.BusyCycles += info.Window.Cycles()
 	c.stats.CodecBursts[codec.Name()]++
+	c.stats.CRCBeats += int64(extraBeats)
+	c.stats.BitErrors += int64(res.BitErrors)
+	if res.Silent {
+		c.stats.SilentErrors++
+	}
 	if info.PrevEnd >= 0 {
 		gap := info.Window.Start - info.PrevEnd
 		c.stats.GapHist.Add(gap)
@@ -600,20 +688,102 @@ func (c *Controller) issueColumn(req *Request, idx int, write bool, now int64) {
 		}
 		c.stats.SlackHist.Add(slack)
 	}
-
 	if write {
 		c.stats.Writes++
-		c.wq = removeAt(c.wq, idx)
-		req.complete(now)
 	} else {
 		c.stats.Reads++
 		if req.Demand {
 			c.stats.DemandReads++
 		}
+	}
+	c.activeBurst = append(c.activeBurst, info.Window)
+
+	if fb, ok := c.policy.(ReliabilityFeedback); ok {
+		fb.RecordBurst(codec.Name(), write, res.Failed())
+	}
+
+	if res.Failed() {
+		c.handleFailure(req, idx, write, &res, info.Window.End)
+		return
+	}
+	c.consecFail = 0
+	c.inStorm = false
+
+	if write {
+		// The device accepted the transfer; commit what actually arrived
+		// (silent corruption is stored, exactly as in hardware).
+		c.mem.WriteLine(req.Line, res.Arrived)
+		c.stats.WritesCompleted++
+		c.wq = removeAt(c.wq, idx)
+		req.complete(now)
+	} else {
 		c.rq = removeAt(c.rq, idx)
 		c.inflight = append(c.inflight, inflightRead{req: req, done: info.Window.End})
 	}
-	c.activeBurst = append(c.activeBurst, info.Window)
+}
+
+// handleFailure processes a NACKed transfer: it classifies the failure,
+// charges the wasted burst, and either schedules a replay (the request
+// stays queued in age order with a capped exponential backoff, gated by
+// retryAt) or abandons the request once its retry budget is spent. A run of
+// consecutive channel-wide failures trips the retry-storm guard, which
+// quadruples backoff until a transfer succeeds.
+func (c *Controller) handleFailure(req *Request, idx int, write bool, res *PhyResult, burstEnd int64) {
+	detectAt := burstEnd
+	switch {
+	case res.CAError:
+		c.stats.CAParityAlerts++
+		detectAt += int64(c.cfg.Reliability.CAAlertCycles)
+	case res.CRCError:
+		c.stats.WriteCRCAlerts++
+		detectAt += int64(c.cfg.Reliability.CRCAlertCycles)
+	default: // read decode failure: the controller itself rejects the burst
+		c.stats.ReadDecodeFailures++
+	}
+	c.stats.RetryBeats += int64(res.Beats)
+	c.stats.RetryCostUnits += int64(res.CostUnits)
+
+	c.consecFail++
+	if !c.inStorm && c.consecFail >= c.cfg.Retry.stormThreshold() {
+		c.inStorm = true
+		c.stats.RetryStorms++
+	}
+
+	if req.retries >= c.cfg.Retry.maxRetries() {
+		// Budget spent: abandon rather than retry forever. The request
+		// completes so the core is not wedged; the data is lost (stale
+		// memory for writes), which RetriesExhausted makes visible.
+		c.stats.RetriesExhausted++
+		if write {
+			c.stats.WritesCompleted++
+			c.wq = removeAt(c.wq, idx)
+		} else {
+			c.stats.ReadsCompleted++
+			c.stats.ReadLatencySum += c.now - req.Arrive
+			if req.Demand {
+				c.stats.DemandLatencySum += c.now - req.Arrive
+				c.stats.DemandReadsCompleted++
+			}
+			c.rq = removeAt(c.rq, idx)
+		}
+		req.complete(c.now)
+		return
+	}
+
+	backoff := int64(c.cfg.Retry.backoffBase()) << req.retries
+	if limit := int64(c.cfg.Retry.backoffMax()); backoff > limit {
+		backoff = limit
+	}
+	if c.inStorm {
+		backoff *= 4
+	}
+	req.retries++
+	req.retryAt = detectAt + backoff
+	if write {
+		c.stats.WriteRetries++
+	} else {
+		c.stats.ReadRetries++
+	}
 }
 
 // classify attributes the cycle to busy / idle-with-pending / idle-empty

@@ -562,17 +562,17 @@ func TestSystemConfigValidation(t *testing.T) {
 func TestPhyAccounting(t *testing.T) {
 	blk := bitblock.FromBytes([]byte{0x00, 0xff, 0x0f})
 	pod := &PODPhy{Verify: true}
-	res := pod.Transmit(code.DBI{}, &blk)
+	res := pod.Transmit(code.DBI{}, &blk, true)
 	if res.CostUnits != res.Zeros || res.Beats != 8 {
 		t.Fatalf("POD result %+v", res)
 	}
 	tr := &TransitionPhy{Verify: true}
-	res2 := tr.Transmit(code.MiLC{}, &blk)
+	res2 := tr.Transmit(code.MiLC{}, &blk, true)
 	if res2.CostUnits != res2.Zeros || res2.Beats != 10 {
 		t.Fatalf("transition result %+v", res2)
 	}
 	bi := &BIWirePhy{Verify: true}
-	res3 := bi.Transmit(code.Raw{}, &blk)
+	res3 := bi.Transmit(code.Raw{}, &blk, true)
 	if res3.Beats != 8 {
 		t.Fatalf("BI beats %d", res3.Beats)
 	}

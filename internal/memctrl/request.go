@@ -13,7 +13,14 @@ type Request struct {
 	OnDone func(now int64)
 	loc    Location
 	mapped bool // loc computed (requests are re-enqueued on backpressure)
+
+	retries int   // failed link transfers replayed so far
+	retryAt int64 // ineligible for scheduling before this cycle (backoff)
 }
+
+// Retries returns how many times this request's burst was replayed after a
+// link failure.
+func (r *Request) Retries() int { return r.retries }
 
 // complete invokes the completion callback, if any.
 func (r *Request) complete(now int64) {

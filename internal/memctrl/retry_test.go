@@ -1,0 +1,229 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+
+	"mil/internal/bitblock"
+	"mil/internal/code"
+	"mil/internal/dram"
+	"mil/internal/fault"
+)
+
+// faultyController builds a DDR4 controller whose phy corrupts transfers
+// per fc, with the full RAS stack (write CRC + CA parity) and the given
+// retry policy.
+func faultyController(t *testing.T, fc fault.Config, retry RetryConfig, pol Policy) *Controller {
+	t.Helper()
+	mem := NewOverlayMemory(func(line int64) bitblock.Block {
+		var blk bitblock.Block
+		rng := rand.New(rand.NewSource(line + 1))
+		rng.Read(blk[:])
+		return blk
+	})
+	cfg := DefaultConfig(dram.DDR4_3200())
+	cfg.Reliability = dram.DDR4Reliability()
+	cfg.Retry = retry
+	phy := &PODPhy{Link: LinkConfig{
+		Inject:   fault.MustNew(fc),
+		WriteCRC: true,
+		CRCBeats: cfg.Reliability.ExtraWriteBeats(),
+		CABits:   cfg.Reliability.CommandBits(),
+	}}
+	c, err := NewController(cfg, mem, pol, phy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// enqueueAll admits every request, ticking through backpressure, and
+// returns the cycle reached.
+func enqueueAll(t *testing.T, c *Controller, reqs []*Request) int64 {
+	t.Helper()
+	now := int64(0)
+	for _, req := range reqs {
+		for !c.Enqueue(req, now) {
+			c.Tick(now)
+			now++
+		}
+	}
+	return now
+}
+
+// assertConservation checks the retry-accounting invariants documented on
+// Stats: every issued column command is either completed or retried, and
+// every detected failure is either replayed or abandoned.
+func assertConservation(t *testing.T, s *Stats) {
+	t.Helper()
+	if s.Writes != s.WritesCompleted+s.WriteRetries {
+		t.Errorf("write conservation: issued %d != completed %d + retried %d",
+			s.Writes, s.WritesCompleted, s.WriteRetries)
+	}
+	if s.Reads != s.ReadsCompleted+s.ReadRetries {
+		t.Errorf("read conservation: issued %d != completed %d + retried %d",
+			s.Reads, s.ReadsCompleted, s.ReadRetries)
+	}
+	if s.Failures() != s.Retries()+s.RetriesExhausted {
+		t.Errorf("failure conservation: %d failures != %d retries + %d abandoned",
+			s.Failures(), s.Retries(), s.RetriesExhausted)
+	}
+}
+
+func TestRetryConservationMixedTraffic(t *testing.T) {
+	// A BER high enough that most bursts take a hit: DBI would swallow
+	// read corruption silently, so use MiLC, whose decoder rejects invalid
+	// bursts, exercising the read-retry path as well.
+	c := faultyController(t, fault.Config{BER: 2e-3, Seed: 11}, RetryConfig{},
+		FixedPolicy{Codec: code.MiLC{}})
+	rng := rand.New(rand.NewSource(42))
+	const nw, nr = 60, 60
+	done := 0
+	var reqs []*Request
+	for i := 0; i < nw; i++ {
+		var blk bitblock.Block
+		rng.Read(blk[:])
+		reqs = append(reqs, &Request{Line: int64(i), Write: true, Data: blk,
+			OnDone: func(int64) { done++ }})
+	}
+	for i := 0; i < nr; i++ {
+		reqs = append(reqs, &Request{Line: int64(1000 + i), Demand: true,
+			OnDone: func(int64) { done++ }})
+	}
+	now := enqueueAll(t, c, reqs)
+	runUntilDrained(t, c, now, now+2_000_000)
+
+	if done != nw+nr {
+		t.Fatalf("completions %d, want %d", done, nw+nr)
+	}
+	s := c.Stats()
+	assertConservation(t, s)
+	if s.WritesCompleted != nw || s.ReadsCompleted != nr {
+		t.Fatalf("completed %d writes / %d reads, want %d/%d",
+			s.WritesCompleted, s.ReadsCompleted, nw, nr)
+	}
+	if s.BitErrors == 0 || s.Failures() == 0 || s.WriteCRCAlerts == 0 {
+		t.Fatalf("fault injection left no trace: %+v", s)
+	}
+	if s.WriteRetries == 0 || s.ReadRetries == 0 {
+		t.Fatalf("retries: writes %d reads %d, want both > 0", s.WriteRetries, s.ReadRetries)
+	}
+	if s.CRCBeats != 2*s.Writes {
+		t.Fatalf("CRC beats %d, want 2 per issued write (%d)", s.CRCBeats, 2*s.Writes)
+	}
+	if s.RetryBeats == 0 || s.RetryCostUnits == 0 {
+		t.Fatal("failed bursts were not charged")
+	}
+}
+
+func TestRetryExhaustionAndStormGuard(t *testing.T) {
+	// A stuck-low lane breaks every write's CRC: each request burns its
+	// whole retry budget, is abandoned, and the run of channel-wide
+	// failures trips the storm guard exactly once.
+	retry := RetryConfig{MaxRetries: 2, BackoffBase: 2, BackoffMax: 8, StormThreshold: 3}
+	c := faultyController(t, fault.Config{StuckPins: []int{1}, StuckVal: false, Seed: 7},
+		retry, FixedPolicy{Codec: code.DBI{}})
+	var reqs []*Request
+	done := 0
+	for i := 0; i < 5; i++ {
+		var blk bitblock.Block
+		for j := range blk {
+			blk[j] = 0xff
+		}
+		reqs = append(reqs, &Request{Line: int64(i), Write: true, Data: blk,
+			OnDone: func(int64) { done++ }})
+	}
+	now := enqueueAll(t, c, reqs)
+	runUntilDrained(t, c, now, now+1_000_000)
+
+	s := c.Stats()
+	assertConservation(t, s)
+	if done != 5 {
+		t.Fatalf("abandoned writes must still complete: done = %d", done)
+	}
+	if s.RetriesExhausted != 5 {
+		t.Fatalf("exhausted %d, want 5", s.RetriesExhausted)
+	}
+	if s.WriteRetries != 10 { // MaxRetries per request
+		t.Fatalf("write retries %d, want 10", s.WriteRetries)
+	}
+	if s.Writes != 15 { // 3 attempts per request
+		t.Fatalf("issued writes %d, want 15", s.Writes)
+	}
+	if s.RetryStorms != 1 {
+		t.Fatalf("storms %d, want exactly 1 (never cleared by a success)", s.RetryStorms)
+	}
+	for _, req := range reqs {
+		if req.Retries() != 2 {
+			t.Fatalf("request retried %d times, want 2", req.Retries())
+		}
+	}
+}
+
+func TestRetryConfigValidate(t *testing.T) {
+	good := RetryConfig{MaxRetries: 4, BackoffBase: 2, BackoffMax: 64, StormThreshold: 8}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []RetryConfig{
+		{MaxRetries: -1},
+		{BackoffBase: -2},
+		{BackoffMax: -1},
+		{BackoffBase: 100, BackoffMax: 10},
+		{StormThreshold: -3},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("config %d (%+v) accepted", i, cfg)
+		}
+	}
+}
+
+func TestCleanLinkWriteCRCPhy(t *testing.T) {
+	// Write CRC without an injector: the burst stretches by two beats, the
+	// check passes, and the payload arrives intact.
+	blk := bitblock.FromBytes([]byte{0x12, 0x34, 0x56})
+	phy := &PODPhy{Link: LinkConfig{WriteCRC: true, CRCBeats: 2}}
+	res := phy.Transmit(code.DBI{}, &blk, true)
+	if res.Failed() || res.Silent || res.BitErrors != 0 {
+		t.Fatalf("clean link flagged an error: %+v", res)
+	}
+	if res.Beats != (code.DBI{}).Beats()+2 {
+		t.Fatalf("beats %d, want data+CRC", res.Beats)
+	}
+	if res.Arrived != blk {
+		t.Fatal("payload mangled on a clean link")
+	}
+	// Reads pay no CRC beats.
+	if r := phy.Transmit(code.DBI{}, &blk, false); r.Beats != (code.DBI{}).Beats() {
+		t.Fatalf("read beats %d", r.Beats)
+	}
+}
+
+func TestStatsMergeReliabilityCounters(t *testing.T) {
+	a, b := NewStats(), NewStats()
+	a.WriteCRCAlerts, b.WriteCRCAlerts = 2, 3
+	a.CAParityAlerts, b.CAParityAlerts = 1, 1
+	a.ReadDecodeFailures, b.ReadDecodeFailures = 4, 0
+	a.WriteRetries, b.WriteRetries = 5, 2
+	a.ReadRetries, b.ReadRetries = 1, 2
+	a.RetriesExhausted, b.RetriesExhausted = 1, 0
+	a.RetryStorms, b.RetryStorms = 1, 1
+	a.SilentErrors, b.SilentErrors = 0, 2
+	a.BitErrors, b.BitErrors = 10, 20
+	a.RetryBeats, b.RetryBeats = 100, 50
+	a.RetryCostUnits, b.RetryCostUnits = 70, 30
+	a.CRCBeats, b.CRCBeats = 8, 4
+	a.WritesCompleted, b.WritesCompleted = 6, 7
+	a.Merge(b)
+	if a.WriteCRCAlerts != 5 || a.CAParityAlerts != 2 || a.ReadDecodeFailures != 4 ||
+		a.WriteRetries != 7 || a.ReadRetries != 3 || a.RetriesExhausted != 1 ||
+		a.RetryStorms != 2 || a.SilentErrors != 2 || a.BitErrors != 30 ||
+		a.RetryBeats != 150 || a.RetryCostUnits != 100 || a.CRCBeats != 12 ||
+		a.WritesCompleted != 13 {
+		t.Fatalf("merge dropped a reliability counter: %+v", a)
+	}
+	if a.Failures() != 11 || a.Retries() != 10 {
+		t.Fatalf("derived failures %d / retries %d", a.Failures(), a.Retries())
+	}
+}

@@ -117,6 +117,27 @@ type Stats struct {
 	SlackHist  *Histogram // slack between successive bursts (Figure 6)
 	BackToBack int64      // gap == 0 pairs
 	GapPairs   int64
+
+	// Reliability counters, all zero on a clean link. Conservation
+	// invariants (checked by the tests): every issued column command either
+	// retires or is requeued, so Writes == WritesCompleted + WriteRetries
+	// and Reads == ReadsCompleted + ReadRetries once the controller drains;
+	// and every detected failure either requeues or exhausts its budget, so
+	// WriteCRCAlerts + CAParityAlerts + ReadDecodeFailures ==
+	// WriteRetries + ReadRetries + RetriesExhausted.
+	WritesCompleted   int64 // writes retired (committed or abandoned)
+	WriteCRCAlerts    int64 // write bursts NACKed by device write-CRC
+	CAParityAlerts    int64 // column commands rejected by CA parity
+	ReadDecodeFailures int64 // read bursts the controller-side decoder rejected
+	WriteRetries      int64 // failed write bursts requeued for replay
+	ReadRetries       int64 // failed read bursts requeued for replay
+	RetriesExhausted  int64 // requests abandoned after the retry budget
+	RetryStorms       int64 // entries into the retry-storm backoff regime
+	SilentErrors      int64 // corrupted bursts delivered undetected
+	BitErrors         int64 // wire bit flips injected on this channel
+	RetryBeats        int64 // beats consumed by bursts that ended NACKed
+	RetryCostUnits    int64 // IO energy units wasted on failed bursts
+	CRCBeats          int64 // extra beats appended for write CRC
 }
 
 // busHistEdges are the bucket edges shared by the gap and slack histograms.
@@ -164,7 +185,28 @@ func (s *Stats) Merge(other *Stats) {
 	s.SlackHist.Merge(other.SlackHist)
 	s.BackToBack += other.BackToBack
 	s.GapPairs += other.GapPairs
+	s.WritesCompleted += other.WritesCompleted
+	s.WriteCRCAlerts += other.WriteCRCAlerts
+	s.CAParityAlerts += other.CAParityAlerts
+	s.ReadDecodeFailures += other.ReadDecodeFailures
+	s.WriteRetries += other.WriteRetries
+	s.ReadRetries += other.ReadRetries
+	s.RetriesExhausted += other.RetriesExhausted
+	s.RetryStorms += other.RetryStorms
+	s.SilentErrors += other.SilentErrors
+	s.BitErrors += other.BitErrors
+	s.RetryBeats += other.RetryBeats
+	s.RetryCostUnits += other.RetryCostUnits
+	s.CRCBeats += other.CRCBeats
 }
+
+// Failures returns the total detected link failures.
+func (s *Stats) Failures() int64 {
+	return s.WriteCRCAlerts + s.CAParityAlerts + s.ReadDecodeFailures
+}
+
+// Retries returns the total replayed bursts.
+func (s *Stats) Retries() int64 { return s.WriteRetries + s.ReadRetries }
 
 // BusUtilization returns the fraction of cycles the data bus carried data.
 func (s *Stats) BusUtilization() float64 {

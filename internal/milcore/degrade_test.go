@@ -1,0 +1,147 @@
+package milcore
+
+import (
+	"testing"
+
+	"mil/internal/code"
+	"mil/internal/memctrl"
+)
+
+func testDegrader(t *testing.T, opts ...DegraderOption) *Degrader {
+	t.Helper()
+	d, err := NewDegrader(memctrl.FixedPolicy{Codec: code.LWC3{}}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDegraderDelegatesAtLevelZero(t *testing.T) {
+	d := testDegrader(t)
+	if d.Name() != "mil-degrade" {
+		t.Fatalf("name %q", d.Name())
+	}
+	if got := d.Choose(true, nil, nil); got.Name() != "lwc3" {
+		t.Fatalf("level 0 chose %q, want the inner policy's codec", got.Name())
+	}
+	if d.Level() != 0 || d.Demotions() != 0 || d.Promotions() != 0 {
+		t.Fatalf("fresh degrader not at rest: %+v", d)
+	}
+}
+
+func TestDegraderDemotesOnFailures(t *testing.T) {
+	d := testDegrader(t, WithDegradeWindow(16, 4))
+	// Three failures inside a window: under threshold, no movement.
+	for i := 0; i < 3; i++ {
+		d.RecordBurst("lwc3", true, true)
+	}
+	if d.Level() != 0 {
+		t.Fatalf("demoted at %d failures, threshold 4", 3)
+	}
+	// Fourth failure blows the budget: demote immediately, mid-window.
+	d.RecordBurst("lwc3", true, true)
+	if d.Level() != 1 || d.Demotions() != 1 {
+		t.Fatalf("level %d demotions %d after blown window", d.Level(), d.Demotions())
+	}
+	if got := d.Choose(true, nil, nil); got.Name() != "milc" {
+		t.Fatalf("level 1 chose %q, want milc", got.Name())
+	}
+	// Keep failing: demote to the ladder floor and stay there.
+	for i := 0; i < 20; i++ {
+		d.RecordBurst("milc", true, true)
+	}
+	if d.Level() != 2 || d.Demotions() != 2 {
+		t.Fatalf("level %d demotions %d, want floor 2", d.Level(), d.Demotions())
+	}
+	if got := d.Choose(true, nil, nil); got.Name() != "dbi" {
+		t.Fatalf("floor chose %q, want dbi", got.Name())
+	}
+}
+
+func TestDegraderWindowResetForgetsOldFailures(t *testing.T) {
+	d := testDegrader(t, WithDegradeWindow(8, 4))
+	// Spread failures across window boundaries: 3 fail + 5 clean fills one
+	// window; 3 more failures in the next window must not demote.
+	for i := 0; i < 3; i++ {
+		d.RecordBurst("lwc3", true, true)
+	}
+	for i := 0; i < 5; i++ {
+		d.RecordBurst("lwc3", true, false)
+	}
+	for i := 0; i < 3; i++ {
+		d.RecordBurst("lwc3", true, true)
+	}
+	if d.Level() != 0 {
+		t.Fatalf("failures accumulated across windows: level %d", d.Level())
+	}
+}
+
+func TestDegraderPromotesAfterCleanRun(t *testing.T) {
+	d := testDegrader(t, WithDegradeWindow(8, 2), WithPromoteAfter(10))
+	for i := 0; i < 4; i++ { // down to the floor
+		d.RecordBurst("lwc3", true, true)
+	}
+	if d.Level() != 2 {
+		t.Fatalf("level %d, want 2", d.Level())
+	}
+	// A failure inside the clean run resets it.
+	for i := 0; i < 9; i++ {
+		d.RecordBurst("dbi", true, false)
+	}
+	d.RecordBurst("dbi", true, true)
+	for i := 0; i < 9; i++ {
+		d.RecordBurst("dbi", true, false)
+	}
+	if d.Level() != 2 {
+		t.Fatalf("promoted without %d consecutive clean bursts", 10)
+	}
+	d.RecordBurst("dbi", true, false) // 10th consecutive clean
+	if d.Level() != 1 || d.Promotions() != 1 {
+		t.Fatalf("level %d promotions %d after clean run", d.Level(), d.Promotions())
+	}
+	for i := 0; i < 10; i++ {
+		d.RecordBurst("milc", true, false)
+	}
+	if d.Level() != 0 || d.Promotions() != 2 {
+		t.Fatalf("level %d promotions %d, want back to full MiL", d.Level(), d.Promotions())
+	}
+}
+
+func TestDegraderCustomLadder(t *testing.T) {
+	d := testDegrader(t, WithLadder(code.DBI{}), WithDegradeWindow(4, 1))
+	d.RecordBurst("lwc3", true, true)
+	if got := d.Choose(true, nil, nil); got.Name() != "dbi" {
+		t.Fatalf("custom ladder chose %q", got.Name())
+	}
+	// One-rung ladder: further failures cannot demote past the floor.
+	d.RecordBurst("dbi", true, true)
+	if d.Level() != 1 {
+		t.Fatalf("level %d beyond one-rung ladder", d.Level())
+	}
+}
+
+func TestDegraderOptionValidation(t *testing.T) {
+	inner := memctrl.FixedPolicy{Codec: code.DBI{}}
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"nil inner", func() error { _, err := NewDegrader(nil); return err }},
+		{"empty ladder", func() error { _, err := NewDegrader(inner, WithLadder()); return err }},
+		{"nil codec", func() error { _, err := NewDegrader(inner, WithLadder(nil)); return err }},
+		{"zero window", func() error { _, err := NewDegrader(inner, WithDegradeWindow(0, 1)); return err }},
+		{"threshold above window", func() error { _, err := NewDegrader(inner, WithDegradeWindow(4, 5)); return err }},
+		{"zero promote", func() error { _, err := NewDegrader(inner, WithPromoteAfter(0)); return err }},
+	}
+	for _, tc := range cases {
+		if tc.err() == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewDegrader(nil) did not panic")
+		}
+	}()
+	MustNewDegrader(nil)
+}

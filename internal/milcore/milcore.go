@@ -225,9 +225,16 @@ func (s Stretched) Encode(blk *bitblock.Block) *bitblock.Burst {
 }
 
 // Decode implements code.Codec.
-func (s Stretched) Decode(bu *bitblock.Burst) bitblock.Block {
+func (s Stretched) Decode(bu *bitblock.Burst) (bitblock.Block, error) {
+	if bu == nil {
+		return bitblock.Block{}, fmt.Errorf("milcore: %s decode of nil burst", s.Name())
+	}
 	if bu.Beats == s.Inner.Beats() {
 		return s.Inner.Decode(bu)
+	}
+	if bu.Beats != s.Total {
+		return bitblock.Block{}, fmt.Errorf("milcore: %s decode of %d-beat burst, want %d",
+			s.Name(), bu.Beats, s.Total)
 	}
 	trunc := bitblock.NewBurst(bu.Width, s.Inner.Beats())
 	for p := 0; p < bu.Width; p++ {

@@ -164,8 +164,8 @@ func TestStretchedRoundTripAndDims(t *testing.T) {
 			if bu.Beats != total {
 				t.Fatalf("encoded beats %d", bu.Beats)
 			}
-			if got := s.Decode(bu); got != blk {
-				t.Fatalf("BL%d round-trip failed", total)
+			if got, err := s.Decode(bu); err != nil || got != blk {
+				t.Fatalf("BL%d round-trip failed (%v)", total, err)
 			}
 		}
 	}

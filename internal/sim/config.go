@@ -82,10 +82,12 @@ func platformFor(kind SystemKind) platform {
 //	lwc3            - always the (8,17) 3-LWC (Figure 2's naive scheme)
 //	bl10..bl16      - fixed burst lengths for the Figure 20 sweep
 //	raw             - uncoded transfers (Figure 7 normalization)
+//	mil-degrade     - MiL wrapped in the graceful-degradation ladder
+//	                  (3-LWC/MiLC -> MiLC -> DBI on persistent link errors)
 func SchemeNames() []string {
 	return []string{
 		"baseline", "bi", "milc", "cafo2", "cafo4", "mil", "mil3", "mil-nowropt",
-		"mil-x4", "lwc3", "bl10", "bl12", "bl14", "bl16", "raw",
+		"mil-x4", "mil-degrade", "lwc3", "bl10", "bl12", "bl14", "bl16", "raw",
 	}
 }
 
@@ -132,7 +134,7 @@ func schemeFor(name string, p platform, lookaheadX int) (memctrl.Policy, func() 
 			return nil, nil, err
 		}
 		return fixed(st)
-	case "mil", "mil-nowropt":
+	case "mil", "mil-nowropt", "mil-degrade":
 		opts := []milcore.Option{}
 		if lookaheadX > 0 {
 			opts = append(opts, milcore.WithLookahead(lookaheadX))
@@ -143,6 +145,13 @@ func schemeFor(name string, p platform, lookaheadX int) (memctrl.Policy, func() 
 		pol, err := milcore.New(opts...)
 		if err != nil {
 			return nil, nil, err
+		}
+		if name == "mil-degrade" {
+			deg, err := milcore.NewDegrader(pol)
+			if err != nil {
+				return nil, nil, err
+			}
+			return deg, newPhy, nil
 		}
 		return pol, newPhy, nil
 	case "mil3":

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"testing"
+
+	"mil/internal/fault"
+	"mil/internal/memctrl"
+	"mil/internal/workload"
+)
+
+func faultRun(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func faultConfig(t *testing.T, scheme string, ops int64) Config {
+	t.Helper()
+	b, err := workload.ByName("GUPS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{System: Server, Scheme: scheme, Benchmark: b, MemOpsPerThread: ops}
+}
+
+// sameResult compares the observable fingerprint of two runs.
+func sameResult(a, b *Result) bool {
+	return a.CPUCycles == b.CPUCycles && a.DRAMCycles == b.DRAMCycles &&
+		a.Mem.Zeros == b.Mem.Zeros && a.Mem.CostUnits == b.Mem.CostUnits &&
+		a.Mem.Reads == b.Mem.Reads && a.Mem.Writes == b.Mem.Writes &&
+		a.DRAM.Total() == b.DRAM.Total()
+}
+
+func TestZeroBERFaultPathIsNoOp(t *testing.T) {
+	// The acceptance bar for the whole fault layer: a disabled fault
+	// config (BER 0, no RAS features) must be bit-identical to a config
+	// that never mentions faults.
+	plain := faultRun(t, faultConfig(t, "mil", 300))
+	wired := faultConfig(t, "mil", 300)
+	wired.Fault = fault.Config{BER: 0, Seed: 5} // seed alone must not matter
+	wired.Retry = memctrl.RetryConfig{MaxRetries: 3}
+	faulted := faultRun(t, wired)
+	if !sameResult(plain, faulted) {
+		t.Fatalf("disabled fault path changed the run:\nplain  %+v\nfault  %+v", plain, faulted)
+	}
+	if faulted.Mem.BitErrors != 0 || faulted.Mem.Failures() != 0 || faulted.RetryJ != 0 {
+		t.Fatalf("phantom errors on a clean link: %+v", faulted.Mem)
+	}
+}
+
+func TestSeedReproducibility(t *testing.T) {
+	cfg := faultConfig(t, "mil", 300)
+	cfg.Fault = fault.Config{BER: 2e-4}
+	cfg.WriteCRC, cfg.CAParity = true, true
+	cfg.Seed = 42
+	a, b := faultRun(t, cfg), faultRun(t, cfg)
+	if !sameResult(a, b) || a.Mem.BitErrors != b.Mem.BitErrors {
+		t.Fatalf("same seed diverged: %+v vs %+v", a.Mem, b.Mem)
+	}
+	cfg.Seed = 43
+	c := faultRun(t, cfg)
+	if sameResult(a, c) && a.Mem.BitErrors == c.Mem.BitErrors {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestFaultInjectionDrivesRetries(t *testing.T) {
+	// Enough traffic that stores overflow the caches into writebacks -
+	// write CRC only shows up once actual write bursts hit the bus.
+	cfg := faultConfig(t, "mil", 3000)
+	cfg.Fault = fault.Config{BER: 5e-4}
+	cfg.WriteCRC, cfg.CAParity = true, true
+	cfg.Seed = 7
+	r := faultRun(t, cfg)
+	m := r.Mem
+	if m.BitErrors == 0 || m.Failures() == 0 || m.Retries() == 0 {
+		t.Fatalf("BER 5e-4 left no trace: %+v", m)
+	}
+	if m.CRCBeats == 0 {
+		t.Fatal("write CRC beats not charged")
+	}
+	if r.RetryJ <= 0 || r.RetryJ >= r.DRAM.IO {
+		t.Fatalf("retry energy %v vs IO %v", r.RetryJ, r.DRAM.IO)
+	}
+	// System-level conservation across all channels.
+	if m.Writes != m.WritesCompleted+m.WriteRetries {
+		t.Fatalf("write conservation: %+v", m)
+	}
+	if m.Reads != m.ReadsCompleted+m.ReadRetries {
+		t.Fatalf("read conservation: %+v", m)
+	}
+	if m.Failures() != m.Retries()+m.RetriesExhausted {
+		t.Fatalf("failure conservation: %+v", m)
+	}
+}
+
+func TestDegradeLadderEngagesUnderHighBER(t *testing.T) {
+	// Clean link: the degrader must be invisible - identical to plain mil.
+	mil := faultRun(t, faultConfig(t, "mil", 300))
+	deg := faultRun(t, faultConfig(t, "mil-degrade", 300))
+	if !sameResult(mil, deg) {
+		t.Fatalf("idle degrader changed the run: %+v vs %+v", mil, deg)
+	}
+	// Heavy BER: the ladder must push traffic down to DBI.
+	cfg := faultConfig(t, "mil-degrade", 300)
+	cfg.Fault = fault.Config{BER: 2e-3}
+	cfg.WriteCRC, cfg.CAParity = true, true
+	cfg.Seed = 7
+	r := faultRun(t, cfg)
+	if r.Mem.CodecBursts["dbi"] == 0 {
+		t.Fatalf("ladder never reached DBI: %v", r.Mem.CodecBursts)
+	}
+	if r.Mem.CodecBursts["dbi"] <= r.Mem.CodecBursts["lwc3"] {
+		t.Fatalf("ladder barely engaged at BER 2e-3: %v", r.Mem.CodecBursts)
+	}
+}
+
+func TestConfigValidateRejectsBadFaultSetups(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"negative BER", func(c *Config) { c.Fault.BER = -1 }},
+		{"BER of 1", func(c *Config) { c.Fault.BER = 1 }},
+		{"bad stuck pin", func(c *Config) { c.Fault.StuckPins = []int{999} }},
+		{"negative retries", func(c *Config) { c.Retry.MaxRetries = -2 }},
+		{"inverted backoff", func(c *Config) { c.Retry = memctrl.RetryConfig{BackoffBase: 64, BackoffMax: 8} }},
+		{"CRC on LPDDR3", func(c *Config) { c.System = Mobile; c.WriteCRC = true }},
+		{"CA parity on LPDDR3", func(c *Config) { c.System = Mobile; c.CAParity = true }},
+	}
+	for _, tc := range cases {
+		cfg := faultConfig(t, "mil", 100)
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted", tc.name)
+		}
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: Run accepted", tc.name)
+		}
+	}
+}

@@ -6,7 +6,9 @@ import (
 
 	"mil/internal/cache"
 	"mil/internal/cpu"
+	"mil/internal/dram"
 	"mil/internal/energy"
+	"mil/internal/fault"
 	"mil/internal/memctrl"
 	"mil/internal/workload"
 )
@@ -30,6 +32,50 @@ type Config struct {
 	PowerDown bool
 	// Trace, when non-nil, receives one line per issued DRAM command.
 	Trace io.Writer
+
+	// Fault injects link errors into every channel's data bus; the zero
+	// value is a reliable link and the whole fault path is a no-op.
+	Fault fault.Config
+	// WriteCRC enables DDR4 write CRC (per-write CRC-8, ALERT_n NACK and
+	// replay). Server system only.
+	WriteCRC bool
+	// CAParity enables DDR4 command/address parity (command reject and
+	// replay). Server system only.
+	CAParity bool
+	// Retry bounds the NACK-replay path; zero fields select the defaults.
+	Retry memctrl.RetryConfig
+	// Seed perturbs every stochastic path of the run - the workload's
+	// access-pattern streams and the per-channel fault injectors - so runs
+	// are bit-reproducible per seed. Seed 0 selects the legacy
+	// (benchmark-derived) streams.
+	Seed uint64
+}
+
+// Validate reports configuration errors before any machinery is built.
+func (c *Config) Validate() error {
+	if c.Benchmark == nil {
+		return fmt.Errorf("sim: nil benchmark (pick one from workload.Suite)")
+	}
+	if c.MemOpsPerThread < 0 {
+		return fmt.Errorf("sim: memory-op budget %d < 0 (0 selects the default %d)",
+			c.MemOpsPerThread, DefaultMemOps)
+	}
+	if c.LookaheadX < 0 {
+		return fmt.Errorf("sim: look-ahead override %d < 0 (0 keeps the scheme default)", c.LookaheadX)
+	}
+	if c.MaxCPUCycles < 0 {
+		return fmt.Errorf("sim: CPU cycle limit %d < 0 (0 selects the default)", c.MaxCPUCycles)
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
+	}
+	if err := c.Retry.Validate(); err != nil {
+		return err
+	}
+	if (c.WriteCRC || c.CAParity) && c.System != Server {
+		return fmt.Errorf("sim: write CRC / CA parity are DDR4 features; %s models LPDDR3", c.System)
+	}
+	return nil
 }
 
 // DefaultMemOps is the per-thread memory-op budget used by the experiments.
@@ -52,6 +98,8 @@ type Result struct {
 
 	DRAM energy.Breakdown
 	CPUJ float64
+	// RetryJ is the IO energy wasted on NACKed bursts (subset of DRAM.IO).
+	RetryJ float64
 }
 
 // SystemJ returns the full-system energy (Figure 19's quantity).
@@ -136,13 +184,57 @@ func (p *memPort) WriteLine(line int64, stream int) bool {
 
 // Run executes one configuration to completion.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Benchmark == nil {
-		return nil, fmt.Errorf("sim: nil benchmark")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	plat := platformFor(cfg.System)
 	policy, newPhy, err := schemeFor(cfg.Scheme, plat, cfg.LookaheadX)
 	if err != nil {
 		return nil, err
+	}
+
+	// DDR4 RAS features: start from the evaluated DDR4-3200 windows and keep
+	// only what the run enables.
+	var rel dram.Reliability
+	if cfg.WriteCRC || cfg.CAParity {
+		d4 := dram.DDR4Reliability()
+		if cfg.WriteCRC {
+			rel.WriteCRC, rel.CRCExtraBeats, rel.CRCAlertCycles = true, d4.CRCExtraBeats, d4.CRCAlertCycles
+		}
+		if cfg.CAParity {
+			rel.CAParity, rel.CABits, rel.CAAlertCycles = true, d4.CABits, d4.CAAlertCycles
+		}
+	}
+
+	// Decorate the phy factory with the link reliability state. NewSystem
+	// calls the factory once per channel in order, so each channel gets its
+	// own injector with a deterministic per-channel sub-stream derived from
+	// the fault seed and the run seed.
+	if cfg.Fault.Enabled() || rel.Enabled() {
+		base := newPhy
+		channel := 0
+		newPhy = func() memctrl.Phy {
+			link := memctrl.LinkConfig{
+				WriteCRC: rel.WriteCRC,
+				CRCBeats: rel.ExtraWriteBeats(),
+				CABits:   rel.CommandBits(),
+			}
+			if cfg.Fault.Enabled() {
+				seed := cfg.Fault.Seed ^ (cfg.Seed * 0x9e3779b97f4a7c15) ^ (uint64(channel+1) * 0xd1342543de82ef95)
+				link.Inject = fault.MustNew(cfg.Fault.WithSeed(seed))
+			}
+			channel++
+			phy := base()
+			switch p := phy.(type) {
+			case *memctrl.PODPhy:
+				p.Link = link
+			case *memctrl.TransitionPhy:
+				p.Link = link
+			case *memctrl.BIWirePhy:
+				p.Link = link
+			}
+			return phy
+		}
 	}
 	if cfg.Verify {
 		base := newPhy
@@ -174,6 +266,8 @@ func Run(cfg Config) (*Result, error) {
 
 	ctrlCfg := memctrl.DefaultConfig(plat.dram)
 	ctrlCfg.Trace = cfg.Trace
+	ctrlCfg.Reliability = rel
+	ctrlCfg.Retry = cfg.Retry
 	if cfg.PowerDown {
 		// tXP ~ 6ns and a ~40ns idle threshold, in DRAM cycles.
 		xp := int(6.0/plat.dram.ClockNS) + 1
@@ -201,7 +295,7 @@ func Run(cfg Config) (*Result, error) {
 	if plat.computeScale > 1 {
 		bench = bench.WithComputeScale(plat.computeScale)
 	}
-	streams, err := bench.NewStreams(plat.cpu.Threads(), memOps)
+	streams, err := bench.NewStreamsSeeded(plat.cpu.Threads(), memOps, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -250,5 +344,6 @@ func Run(cfg Config) (*Result, error) {
 		Cache:        hier.Stats(),
 		DRAM:         breakdown,
 		CPUJ:         energy.CPUEnergy(plat.cpuPower, seconds, proc.Retired),
+		RetryJ:       energy.RetryEnergyJ(plat.power, stats),
 	}, nil
 }

@@ -181,17 +181,29 @@ func (b *Benchmark) StoreData(line int64, seq uint64) bitblock.Block {
 // NewStreams builds the per-thread instruction streams: threads hardware
 // contexts, each issuing memOps memory operations.
 func (b *Benchmark) NewStreams(threads int, memOps int64) ([]cpu.Stream, error) {
+	return b.NewStreamsSeeded(threads, memOps, 0)
+}
+
+// NewStreamsSeeded is NewStreams with an explicit run seed perturbing the
+// per-thread access-pattern streams. Seed 0 selects exactly the default
+// (benchmark-name-derived) streams, so seeded and legacy call sites agree
+// bit for bit unless a seed is actually requested.
+func (b *Benchmark) NewStreamsSeeded(threads int, memOps int64, seed uint64) ([]cpu.Stream, error) {
 	if err := b.finalize(); err != nil {
 		return nil, err
 	}
 	if threads <= 0 || memOps <= 0 {
 		return nil, fmt.Errorf("workload %s: %d threads x %d ops", b.Name, threads, memOps)
 	}
+	base := int64(b.seed())
+	if seed != 0 {
+		base = int64(b.seed() ^ mix64(seed))
+	}
 	out := make([]cpu.Stream, threads)
 	for t := 0; t < threads; t++ {
 		out[t] = &threadStream{
 			b: b, tid: t, threads: threads,
-			rng:     rand.New(rand.NewSource(int64(b.seed()) + int64(t)*7919)),
+			rng:     rand.New(rand.NewSource(base + int64(t)*7919)),
 			opsLeft: memOps,
 			cursor:  make([]int64, len(b.Bursts)),
 		}

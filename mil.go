@@ -23,6 +23,8 @@ import (
 
 	"mil/internal/bitblock"
 	"mil/internal/code"
+	"mil/internal/fault"
+	"mil/internal/memctrl"
 	"mil/internal/sim"
 	"mil/internal/workload"
 )
@@ -50,6 +52,15 @@ const (
 // Result is a finished simulation; see the sim package for field docs.
 type Result = sim.Result
 
+// FaultConfig parameterizes link-error injection: random bit errors (BER),
+// correlated burst errors, and stuck lanes. The zero value is a reliable
+// link. See the fault package for field docs.
+type FaultConfig = fault.Config
+
+// RetryConfig bounds the controller's NACK-and-replay path; zero fields
+// select the defaults. See the memctrl package for field docs.
+type RetryConfig = memctrl.RetryConfig
+
 // Config describes one simulation run.
 type Config struct {
 	// System picks the platform (Server or Mobile).
@@ -64,6 +75,19 @@ type Config struct {
 	LookaheadX int
 	// Verify decodes and checks every burst (slower; for validation).
 	Verify bool
+
+	// Fault injects link errors; the zero value is a clean link and the
+	// whole fault path is a guaranteed no-op.
+	Fault FaultConfig
+	// WriteCRC enables DDR4 write CRC with NACK-and-replay (Server only).
+	WriteCRC bool
+	// CAParity enables DDR4 command/address parity (Server only).
+	CAParity bool
+	// Retry bounds the replay of NACKed transfers.
+	Retry RetryConfig
+	// Seed makes every stochastic path of the run reproducible (0 = the
+	// legacy benchmark-derived streams).
+	Seed uint64
 }
 
 // Run executes one configuration to completion.
@@ -79,6 +103,11 @@ func Run(cfg Config) (*Result, error) {
 		MemOpsPerThread: cfg.MemOpsPerThread,
 		LookaheadX:      cfg.LookaheadX,
 		Verify:          cfg.Verify,
+		Fault:           cfg.Fault,
+		WriteCRC:        cfg.WriteCRC,
+		CAParity:        cfg.CAParity,
+		Retry:           cfg.Retry,
+		Seed:            cfg.Seed,
 	})
 }
 

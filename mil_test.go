@@ -40,7 +40,7 @@ func TestFacadeCodec(t *testing.T) {
 		t.Fatal(err)
 	}
 	blk := mil.BlockFromBytes([]byte("facade-level round trip check"))
-	if got := c.Decode(c.Encode(&blk)); got != blk {
+	if got, err := c.Decode(c.Encode(&blk)); err != nil || got != blk {
 		t.Fatal("round trip failed")
 	}
 	if _, err := mil.NewCodec("bogus"); err == nil {
