@@ -1,11 +1,12 @@
 # Tier-1 verification for the MiL simulator. `make verify` is the gate a
-# change must pass: build, vet, the full test suite, and the same suite
-# under the race detector (the simulator is single-threaded by design, so
-# any race is a bug in test plumbing or a future parallelization hazard).
+# change must pass: build, vet, the full test suite, and the race detector.
+# The sweep engine runs simulations concurrently, so the race pass first
+# targets the packages that carry the concurrency (experiments, sim,
+# workload) and then sweeps the rest of the tree.
 
 GO ?= go
 
-.PHONY: all build vet test race verify fuzz bench experiments clean
+.PHONY: all build vet test race verify fuzz bench golden experiments clean
 
 all: verify
 
@@ -19,6 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
+	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/workload/
 	$(GO) test -race ./...
 
 verify: build vet test race
@@ -29,8 +31,16 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzRoundTrip -fuzztime=30s ./internal/code/
 	$(GO) test -run=NONE -fuzz=FuzzDecodeCorrupted -fuzztime=30s ./internal/code/
 
+# Machine-readable sweep + codec timings (BENCH_sweep.json), then the go
+# test benchmarks for spot numbers.
 bench:
+	$(GO) run ./cmd/milbench -j 8 -out BENCH_sweep.json
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Re-bless the golden experiment snapshots after an intentional model
+# change; review the diff under internal/experiments/testdata/golden/.
+golden:
+	$(GO) test ./internal/experiments/ -run TestGolden -update
 
 # Regenerate EXPERIMENTS.md (all figures and tables; slow).
 experiments:

@@ -1,0 +1,175 @@
+// Command milbench measures the sweep engine and the codec hot path and
+// writes the numbers to a machine-readable JSON file (BENCH_sweep.json in
+// the repo root, via make bench) so performance can be tracked across
+// revisions.
+//
+// Two layers are timed:
+//
+//   - the full figure sweep on a reduced workload suite, once serially
+//     (-j 1) and once on the worker pool (-j N); the ratio is the engine's
+//     parallel speedup on this host.
+//   - every codec's Encode and Decode on random (worst-case) cache lines,
+//     since the codecs dominate per-simulation cost.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"mil/internal/bitblock"
+	"mil/internal/code"
+	"mil/internal/experiments"
+
+	"math/rand"
+)
+
+type report struct {
+	Generated  string       `json:"generated"`
+	GoOS       string       `json:"goos"`
+	GoArch     string       `json:"goarch"`
+	NumCPU     int          `json:"num_cpu"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Sweep      sweepReport  `json:"sweep"`
+	Codecs     []codecTimes `json:"codecs"`
+}
+
+type sweepReport struct {
+	MemOps          int64    `json:"mem_ops"`
+	Suite           []string `json:"suite"`
+	Tables          int      `json:"tables"`
+	Simulations     int64    `json:"simulations"`
+	Workers         int      `json:"workers"`
+	SerialSeconds   float64  `json:"serial_seconds"`
+	ParallelSeconds float64  `json:"parallel_seconds"`
+	Speedup         float64  `json:"speedup"`
+}
+
+type codecTimes struct {
+	Name       string  `json:"name"`
+	EncodeNsOp float64 `json:"encode_ns_per_op"`
+	DecodeNsOp float64 `json:"decode_ns_per_op"`
+}
+
+func main() {
+	ops := flag.Int64("ops", 120, "memory operations per thread for the sweep")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker-pool width for the parallel sweep leg")
+	suite := flag.String("suite", "MM,STRMATCH,GUPS", "comma-separated reduced workload suite")
+	iters := flag.Int("codec-iters", 2000, "iterations per codec micro-benchmark")
+	out := flag.String("out", "BENCH_sweep.json", "output JSON path (- for stdout)")
+	flag.Parse()
+
+	names := strings.Split(*suite, ",")
+	rep := report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	serial, _, err := timeSweep(*ops, names, 1)
+	if err != nil {
+		fatal(err)
+	}
+	parallel, sims, err := timeSweep(*ops, names, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Sweep = sweepReport{
+		MemOps:          *ops,
+		Suite:           names,
+		Tables:          len(experiments.Generators()),
+		Simulations:     sims,
+		Workers:         *workers,
+		SerialSeconds:   serial.Seconds(),
+		ParallelSeconds: parallel.Seconds(),
+		Speedup:         serial.Seconds() / parallel.Seconds(),
+	}
+	fmt.Fprintf(os.Stderr, "milbench: sweep %d sims, serial %.2fs, -j %d %.2fs (%.2fx)\n",
+		sims, serial.Seconds(), *workers, parallel.Seconds(), rep.Sweep.Speedup)
+
+	for _, name := range code.Names() {
+		ct, err := timeCodec(name, *iters)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Codecs = append(rep.Codecs, ct)
+		fmt.Fprintf(os.Stderr, "milbench: %-7s encode %7.0f ns/op, decode %7.0f ns/op\n",
+			ct.Name, ct.EncodeNsOp, ct.DecodeNsOp)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "milbench: wrote %s\n", *out)
+}
+
+// timeSweep renders every experiment table from a cold cache and returns the
+// wall-clock time and the number of distinct simulations executed.
+func timeSweep(ops int64, suite []string, workers int) (time.Duration, int64, error) {
+	r := experiments.NewRunner(ops)
+	r.Suite = suite
+	r.Workers = workers
+	start := time.Now()
+	tables, err := r.All()
+	if err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start)
+	if len(tables) != len(experiments.Generators()) {
+		return 0, 0, fmt.Errorf("sweep produced %d tables, want %d",
+			len(tables), len(experiments.Generators()))
+	}
+	runs, _ := r.Stats()
+	return elapsed, runs, nil
+}
+
+// timeCodec measures one codec's encode and decode over random cache lines
+// (random data is the worst case: nothing sparse to exploit).
+func timeCodec(name string, iters int) (codecTimes, error) {
+	c, err := code.ByName(name)
+	if err != nil {
+		return codecTimes{}, err
+	}
+	rng := rand.New(rand.NewSource(0x5eed))
+	blocks := make([]bitblock.Block, 64)
+	for i := range blocks {
+		rng.Read(blocks[i][:])
+	}
+
+	start := time.Now()
+	bursts := make([]*bitblock.Burst, iters)
+	for i := 0; i < iters; i++ {
+		bursts[i] = c.Encode(&blocks[i%len(blocks)])
+	}
+	encNs := float64(time.Since(start).Nanoseconds()) / float64(iters)
+
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := c.Decode(bursts[i]); err != nil {
+			return codecTimes{}, fmt.Errorf("%s decode: %w", name, err)
+		}
+	}
+	decNs := float64(time.Since(start).Nanoseconds()) / float64(iters)
+
+	return codecTimes{Name: name, EncodeNsOp: encNs, DecodeNsOp: decNs}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "milbench:", err)
+	os.Exit(1)
+}

@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	milexp [-ops 6000] [-out EXPERIMENTS.md] [-only "Figure 16"] [-q]
+//	milexp [-ops 6000] [-j N] [-out EXPERIMENTS.md] [-only "Figure 16"] [-q]
 //
-// Without -only, every experiment runs (a few hundred simulations; expect
-// minutes). With -only, experiments whose ID contains the given substring
-// run. Results within one invocation are shared across figures.
+// Without -only, every experiment runs (a few hundred simulations). With
+// -only, experiments whose ID contains the given substring run. Results
+// within one invocation are shared across figures, and fresh simulations
+// execute on a worker pool -j wide (default GOMAXPROCS). The report is
+// byte-identical for every -j: scheduling never leaks into the tables.
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"mil/internal/experiments"
 	"mil/internal/sim"
@@ -22,16 +25,28 @@ import (
 
 func main() {
 	var (
-		ops   = flag.Int64("ops", sim.DefaultMemOps, "memory operations per hardware thread")
-		out   = flag.String("out", "", "write the report to this file (default stdout)")
-		only  = flag.String("only", "", "run only experiments whose ID contains this substring")
-		quiet = flag.Bool("q", false, "suppress per-run progress on stderr")
+		ops      = flag.Int64("ops", sim.DefaultMemOps, "memory operations per hardware thread")
+		workers  = flag.Int("j", 0, "max simulations in flight (0 = GOMAXPROCS)")
+		out      = flag.String("out", "", "write the report to this file (default stdout)")
+		only     = flag.String("only", "", "run only experiments whose ID contains this substring")
+		progress = flag.Bool("progress", true, "stream per-run progress and timing on stderr")
+		quiet    = flag.Bool("q", false, "shortcut for -progress=false")
+		seed     = flag.Uint64("seed", 0, "base stream seed (0 = legacy benchmark-derived streams)")
 	)
 	flag.Parse()
 
 	r := experiments.NewRunner(*ops)
-	if !*quiet {
+	r.Workers = *workers
+	r.BaseSeed = *seed
+	if *progress && !*quiet {
 		r.Progress = os.Stderr
+	}
+
+	start := time.Now()
+	tables, err := r.Tables(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "milexp:", err)
+		os.Exit(1)
 	}
 
 	var sb strings.Builder
@@ -39,17 +54,15 @@ func main() {
 	fmt.Fprintf(&sb, "Per-thread memory-op budget: %d. Every number is produced by the\n", *ops)
 	sb.WriteString("simulator in this repository; see EXPERIMENTS.md for the archived run\n")
 	sb.WriteString("and the paper-vs-measured commentary.\n\n")
-	for _, g := range experiments.Generators() {
-		if *only != "" && !strings.Contains(g.ID, *only) {
-			continue
-		}
-		t, err := g.Run(r)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "milexp:", err)
-			os.Exit(1)
-		}
+	for _, t := range tables {
 		sb.WriteString(t.String())
 		sb.WriteString("\n")
+	}
+
+	if r.Progress != nil {
+		runs, simTime := r.Stats()
+		fmt.Fprintf(os.Stderr, "milexp: %d simulations, %.1fs simulated serially, %.1fs wall\n",
+			runs, simTime.Seconds(), time.Since(start).Seconds())
 	}
 
 	if *out == "" {

@@ -4,9 +4,13 @@
 //
 // Usage:
 //
-//	milsim [-system server|mobile] [-scheme mil] [-bench GUPS] [-ops 6000] [-x 8] [-verify]
+//	milsim [-system server|mobile] [-scheme mil] [-bench GUPS] [-ops 6000] [-x 8] [-verify] [-j N]
 //
 // Scheme names: baseline, milc, cafo2, cafo4, mil, lwc3, bl10-bl16, raw.
+// With -bench all the suite runs on a worker pool -j wide (default
+// GOMAXPROCS); reports print in suite order regardless of -j, and -progress
+// streams per-run completion lines on stderr. -trace forces -j 1 so the
+// command trace stays a single uninterleaved stream.
 package main
 
 import (
@@ -15,8 +19,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"mil/internal/fault"
 	"mil/internal/memctrl"
@@ -44,6 +51,8 @@ func main() {
 		caparity = flag.Bool("caparity", false, "enable DDR4 command/address parity (server only)")
 		retries  = flag.Int("retries", 0, "replay budget per request (0 = default 8)")
 		seed     = flag.Uint64("seed", 0, "run seed for streams and fault injection (0 = legacy streams)")
+		workers  = flag.Int("j", 0, "runs in flight for -bench all (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "stream per-run completion lines on stderr")
 	)
 	flag.Parse()
 
@@ -79,25 +88,65 @@ func main() {
 	if *bench == "all" {
 		benches = workload.Names()
 	}
-	for _, name := range benches {
+
+	j := *workers
+	if j <= 0 {
+		j = runtime.GOMAXPROCS(0)
+	}
+	if traceW != nil {
+		// A shared trace writer would interleave commands from parallel runs.
+		j = 1
+	}
+
+	// Run the requested benchmarks on a bounded pool. sim.Run is re-entrant
+	// (see internal/sim), so parallel runs share nothing; each report is
+	// buffered and printed in suite order so -j never reorders output.
+	type outcome struct {
+		res *sim.Result
+		err error
+	}
+	results := make([]outcome, len(benches))
+	sem := make(chan struct{}, j)
+	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	for i, name := range benches {
 		b, err := workload.ByName(name)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "milsim:", err)
 			os.Exit(2)
 		}
-		r, err := sim.Run(sim.Config{
-			System: kind, Scheme: *scheme, Benchmark: b,
-			MemOpsPerThread: *ops, LookaheadX: *x, Verify: *verify,
-			PowerDown: *pd, Trace: traceW,
-			Fault: fc, WriteCRC: *writecrc, CAParity: *caparity,
-			Retry: memctrl.RetryConfig{MaxRetries: *retries},
-			Seed:  *seed,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "milsim:", err)
+		i, name, b := i, name, b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			res, err := sim.Run(sim.Config{
+				System: kind, Scheme: *scheme, Benchmark: b,
+				MemOpsPerThread: *ops, LookaheadX: *x, Verify: *verify,
+				PowerDown: *pd, Trace: traceW,
+				Fault: fc, WriteCRC: *writecrc, CAParity: *caparity,
+				Retry: memctrl.RetryConfig{MaxRetries: *retries},
+				Seed:  *seed,
+			})
+			results[i] = outcome{res, err}
+			if *progress {
+				progressMu.Lock()
+				fmt.Fprintf(os.Stderr, "milsim: %s/%s/%s done (%.0fms)\n",
+					kind, *scheme, name, float64(time.Since(start).Milliseconds()))
+				progressMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, o := range results {
+		if o.err != nil {
+			fmt.Fprintln(os.Stderr, "milsim:", o.err)
 			os.Exit(1)
 		}
-		report(r)
+		report(o.res)
 	}
 }
 

@@ -1,0 +1,69 @@
+package code
+
+import (
+	"math/rand"
+	"testing"
+
+	"mil/internal/bitblock"
+)
+
+// Per-codec encode/decode micro-benchmarks over the whole registry. The
+// codecs sit on the simulator's innermost loop (every column command encodes
+// once and decodes once), so their cost dominates sweep wall-clock;
+// cmd/milbench samples these numbers into BENCH_sweep.json alongside the
+// end-to-end sweep timings.
+
+// benchBlocks returns a fixed pool of pseudorandom cache lines; random data
+// is the codecs' worst case (no sparsity to exploit, every coset searched).
+func benchBlocks(n int) []bitblock.Block {
+	rng := rand.New(rand.NewSource(0x5eed))
+	out := make([]bitblock.Block, n)
+	for i := range out {
+		rng.Read(out[i][:])
+	}
+	return out
+}
+
+func BenchmarkEncode(b *testing.B) {
+	blocks := benchBlocks(64)
+	for _, name := range Names() {
+		c, err := ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(blocks[0])))
+			for i := 0; i < b.N; i++ {
+				bu := c.Encode(&blocks[i%len(blocks)])
+				if bu.Beats != c.Beats() {
+					b.Fatalf("%s: %d-beat burst, want %d", name, bu.Beats, c.Beats())
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	blocks := benchBlocks(64)
+	for _, name := range Names() {
+		c, err := ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Encode outside the timed loop so Decode is measured alone.
+		bursts := make([]*bitblock.Burst, len(blocks))
+		for i := range blocks {
+			bursts[i] = c.Encode(&blocks[i])
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(blocks[0])))
+			for i := 0; i < b.N; i++ {
+				j := i % len(bursts)
+				got, err := c.Decode(bursts[j])
+				if err != nil || got != blocks[j] {
+					b.Fatalf("%s: round trip failed: %v", name, err)
+				}
+			}
+		})
+	}
+}

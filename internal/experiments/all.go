@@ -1,6 +1,11 @@
 package experiments
 
-import "mil/internal/sim"
+import (
+	"strings"
+	"sync"
+
+	"mil/internal/sim"
+)
 
 // Generator names one reproducible experiment.
 type Generator struct {
@@ -37,15 +42,41 @@ func Generators() []Generator {
 	}
 }
 
-// All regenerates every table and figure.
-func (r *Runner) All() ([]*Table, error) {
-	var tables []*Table
+// Tables runs every experiment whose ID contains the filter substring (""
+// selects all) and returns them in presentation order. Generators execute
+// concurrently - each one prefetches its cross product onto the shared
+// worker pool, so the pool stays full across generator boundaries - but the
+// returned slice and every table in it are byte-identical to a serial run:
+// all scheduling-dependent state is confined to the cache and the progress
+// stream.
+func (r *Runner) Tables(filter string) ([]*Table, error) {
+	var selected []Generator
 	for _, g := range Generators() {
-		t, err := g.Run(r)
+		if filter == "" || strings.Contains(g.ID, filter) {
+			selected = append(selected, g)
+		}
+	}
+
+	tables := make([]*Table, len(selected))
+	errs := make([]error, len(selected))
+	var wg sync.WaitGroup
+	for i, g := range selected {
+		i, g := i, g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tables[i], errs[i] = g.Run(r)
+		}()
+	}
+	wg.Wait()
+	r.Wait() // drain prefetches a failed generator abandoned
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		tables = append(tables, t)
 	}
 	return tables, nil
 }
+
+// All regenerates every table and figure.
+func (r *Runner) All() ([]*Table, error) { return r.Tables("") }

@@ -12,6 +12,7 @@ var evalSchemes = []string{"cafo2", "cafo4", "milc", "mil"}
 // Figure16 reproduces the execution-time comparison: CAFO2, CAFO4,
 // MiLC-only and MiL normalized to the baseline, per system.
 func (r *Runner) Figure16(system sim.SystemKind) (*Table, error) {
+	r.prefetchSuite(system, evalSchemes...)
 	names, err := r.suiteSorted(system)
 	if err != nil {
 		return nil, err
@@ -59,6 +60,7 @@ func (r *Runner) Figure16(system sim.SystemKind) (*Table, error) {
 // Figure17 reproduces the transmitted IO cost comparison: zeros (DDR4) or
 // wire transitions (LPDDR3) normalized to the baseline.
 func (r *Runner) Figure17(system sim.SystemKind) (*Table, error) {
+	r.prefetchSuite(system, evalSchemes...)
 	names, err := r.suiteSorted(system)
 	if err != nil {
 		return nil, err
@@ -106,6 +108,7 @@ func (r *Runner) Figure17(system sim.SystemKind) (*Table, error) {
 // Figure18 reproduces the DRAM energy breakdown, baseline vs MiL, with all
 // components normalized to the baseline total.
 func (r *Runner) Figure18(system sim.SystemKind) (*Table, error) {
+	r.prefetchSuite(system, "mil")
 	names, err := r.suiteSorted(system)
 	if err != nil {
 		return nil, err
@@ -156,6 +159,7 @@ func (r *Runner) Figure18(system sim.SystemKind) (*Table, error) {
 // Figure19 reproduces the system-energy comparison normalized to the
 // baseline.
 func (r *Runner) Figure19(system sim.SystemKind) (*Table, error) {
+	r.prefetchSuite(system, evalSchemes...)
 	names, err := r.suiteSorted(system)
 	if err != nil {
 		return nil, err
@@ -200,6 +204,7 @@ func (r *Runner) Figure19(system sim.SystemKind) (*Table, error) {
 
 // Figure22 reproduces the codec-usage split inside MiL.
 func (r *Runner) Figure22() (*Table, error) {
+	r.prefetchSuite(sim.Server, "mil")
 	names, err := r.suiteSorted(sim.Server)
 	if err != nil {
 		return nil, err

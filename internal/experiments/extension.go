@@ -12,6 +12,7 @@ import (
 // medium-sized idle windows that cannot fit BL16 still carry a code
 // stronger than MiLC.
 func (r *Runner) Extension1() (*Table, error) {
+	r.prefetchSuite(sim.Server, "mil", "mil3")
 	names, err := r.suiteSorted(sim.Server)
 	if err != nil {
 		return nil, err
@@ -60,6 +61,15 @@ func (r *Runner) Extension1() (*Table, error) {
 // et al. [60]): with background energy reduced, the IO savings are a larger
 // share of what remains.
 func (r *Runner) Extension3() (*Table, error) {
+	var specs []Spec
+	for _, n := range r.names() {
+		for _, scheme := range []string{"baseline", "mil"} {
+			specs = append(specs,
+				Spec{System: sim.Server, Scheme: scheme, Bench: n},
+				Spec{System: sim.Server, Scheme: scheme, Bench: n, PowerDown: true})
+		}
+	}
+	r.Prefetch(specs...)
 	names, err := r.suiteSorted(sim.Server)
 	if err != nil {
 		return nil, err
@@ -111,6 +121,7 @@ func (r *Runner) Extension3() (*Table, error) {
 // while MiL's pin-free codes (hybrid BL14 + MiLC BL10) still apply - "unlike
 // the case of DBI, x4 chips can benefit from MiL".
 func (r *Runner) Extension4() (*Table, error) {
+	r.prefetchSuite(sim.Server, "raw", "mil-x4")
 	names, err := r.suiteSorted(sim.Server)
 	if err != nil {
 		return nil, err
@@ -146,6 +157,7 @@ func (r *Runner) Extension4() (*Table, error) {
 // Extension2 is the write-optimization ablation: MiL with and without the
 // Section 4.6 pre-encode-both-and-pick-sparser write path.
 func (r *Runner) Extension2() (*Table, error) {
+	r.prefetchSuite(sim.Server, "mil", "mil-nowropt")
 	names, err := r.suiteSorted(sim.Server)
 	if err != nil {
 		return nil, err

@@ -3,52 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"mil/internal/fault"
 	"mil/internal/sim"
-	"mil/internal/workload"
 )
-
-// faultKey identifies one cached fault-injection run. Fault runs are cached
-// separately from the clean-link sweep: they carry RAS features and a seed
-// the evaluation runs must never see.
-type faultKey struct {
-	system sim.SystemKind
-	scheme string
-	bench  string
-	ber    float64
-}
-
-// getFault returns the cached or fresh result for a fault-sweep cell: the
-// scheme under link BER with DDR4 write CRC and CA parity enabled, seeded
-// for reproducibility.
-func (r *Runner) getFault(system sim.SystemKind, scheme, bench string, ber float64) (*sim.Result, error) {
-	if r.faultCache == nil {
-		r.faultCache = make(map[faultKey]*sim.Result)
-	}
-	key := faultKey{system, scheme, bench, ber}
-	if res, ok := r.faultCache[key]; ok {
-		return res, nil
-	}
-	b, err := workload.ByName(bench)
-	if err != nil {
-		return nil, err
-	}
-	if r.Progress != nil {
-		fmt.Fprintf(r.Progress, "run %s/%s/%s ber=%g ops=%d\n", system, scheme, bench, ber, r.MemOps)
-	}
-	res, err := sim.Run(sim.Config{
-		System: system, Scheme: scheme, Benchmark: b,
-		MemOpsPerThread: r.MemOps,
-		Fault:           fault.Config{BER: ber},
-		WriteCRC:        true, CAParity: true,
-		Seed: 1,
-	})
-	if err != nil {
-		return nil, err
-	}
-	r.faultCache[key] = res
-	return res, nil
-}
 
 // FaultSweep is the robustness extension: a BER x scheme grid on the
 // server system showing how each configuration degrades on a faulty link.
@@ -60,6 +16,14 @@ func (r *Runner) FaultSweep() (*Table, error) {
 	const bench = "GUPS"
 	schemes := []string{"baseline", "milc", "mil", "mil-degrade"}
 	bers := []float64{0, 1e-5, 2e-4, 2e-3}
+
+	var specs []Spec
+	for _, scheme := range schemes {
+		for _, ber := range bers {
+			specs = append(specs, Spec{System: sim.Server, Scheme: scheme, Bench: bench, BER: ber, RAS: true})
+		}
+	}
+	r.Prefetch(specs...)
 
 	t := &Table{
 		ID:    "Extension 5",

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The golden-file regression harness pins the rendered output of every
+// experiment across refactors: each table, regenerated on the reduced
+// workload suite below, must match its committed snapshot byte for byte.
+// After an intentional model change, re-bless the snapshots with
+//
+//	go test ./internal/experiments/ -run TestGolden -update
+//
+// and review the diff like any other code change - it IS the paper
+// reproduction's output.
+var update = flag.Bool("update", false, "rewrite the golden files from the current output")
+
+// Golden runs use a reduced suite (the three cheapest benchmarks spanning
+// the cache-friendly / bandwidth-bound / compressible-data classes) and a
+// reduced run length so the whole generator set regenerates in seconds.
+const goldenOps = 120
+
+func goldenSuite() []string { return []string{"MM", "STRMATCH", "GUPS"} }
+
+func goldenRunner() *Runner {
+	r := NewRunner(goldenOps)
+	r.Suite = goldenSuite()
+	r.Workers = 8
+	return r
+}
+
+// goldenFile maps a table ID to its snapshot path.
+func goldenFile(id string) string {
+	slug := strings.ToLower(id)
+	slug = strings.NewReplacer(" ", "-", "(", "", ")", "").Replace(slug)
+	return filepath.Join("testdata", "golden", slug+".md")
+}
+
+func TestGolden(t *testing.T) {
+	if raceEnabled {
+		// The snapshots are scheduling-independent (TestSweepDeterminism
+		// proves that under race); re-rendering them here would only slow
+		// the race pass down.
+		t.Skip("golden content is race-agnostic; the engine is raced by TestSweepDeterminism")
+	}
+	tables, err := goldenRunner().All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(tables) != len(Generators()) {
+		t.Fatalf("%d tables from %d generators", len(tables), len(Generators()))
+	}
+	blessed := map[string]bool{}
+	for _, tab := range tables {
+		tab := tab
+		blessed[filepath.Base(goldenFile(tab.ID))] = true
+		t.Run(tab.ID, func(t *testing.T) {
+			path := goldenFile(tab.ID)
+			got := tab.String()
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to bless): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from %s (re-bless with -update if intentional):\n%s",
+					tab.ID, path, firstDiff(string(want), got))
+			}
+		})
+	}
+
+	// Keep the snapshot set in lockstep with the generator list: every
+	// table must have a snapshot (checked above) and every snapshot a
+	// table - a removed experiment must take its golden file with it.
+	if !*update {
+		entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !blessed[e.Name()] {
+				t.Errorf("stale golden file %s has no generator", e.Name())
+			}
+		}
+	}
+}
+
+// firstDiff renders the first differing line pair for a readable failure.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("line %d:\n  golden: %s\n  got:    %s", i+1, w, g)
+		}
+	}
+	return "(no line diff; trailing bytes differ)"
+}

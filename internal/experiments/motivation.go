@@ -53,6 +53,11 @@ func (r *Runner) Figure2() (*Table, error) {
 			"execution time 14% and 42%, leaving marginal system-energy savings.",
 		Header: []string{"benchmark", "exec time (vs DBI)", "IO energy (vs DBI)", "system energy (vs DBI)"},
 	}
+	r.Prefetch(
+		Spec{System: sim.Server, Scheme: "baseline", Bench: "CG"},
+		Spec{System: sim.Server, Scheme: "lwc3", Bench: "CG"},
+		Spec{System: sim.Server, Scheme: "baseline", Bench: "GUPS"},
+		Spec{System: sim.Server, Scheme: "lwc3", Bench: "GUPS"})
 	for _, bench := range []string{"CG", "GUPS"} {
 		base, err := r.get(sim.Server, "baseline", bench, 0)
 		if err != nil {
@@ -208,8 +213,16 @@ func (r *Runner) Figure7() (*Table, error) {
 			"built from the benchmark's own byte-pattern frequencies.",
 		Header: header,
 	}
+	var suite []*workload.Benchmark
+	for _, n := range r.names() {
+		b, err := workload.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		suite = append(suite, b)
+	}
 	sums := make([]float64, len(ks)+1)
-	for _, b := range workload.All() {
+	for _, b := range suite {
 		var freq [256]uint64
 		span := b.Lines()
 		step := span / 4096
@@ -241,7 +254,7 @@ func (r *Runner) Figure7() (*Table, error) {
 	}
 	avg := []string{"MEAN"}
 	for _, s := range sums {
-		avg = append(avg, f3(s/float64(len(workload.All()))))
+		avg = append(avg, f3(s/float64(len(suite))))
 	}
 	t.Rows = append(t.Rows, avg)
 	return t, nil

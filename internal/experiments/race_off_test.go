@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; the heavy
+// sweep tests shrink their run budget under it (the detector costs ~10x).
+const raceEnabled = false

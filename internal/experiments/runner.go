@@ -1,18 +1,32 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (and the motivating Figures 1-7) from the simulator. Each
 // FigureN/TableN method returns a rendered table; cmd/milexp assembles them
-// into EXPERIMENTS.md. Results are cached per (system, scheme, benchmark,
-// look-ahead) so figures that share runs - 16 through 19 and 22 all come
-// from the same sweep - pay for them once.
+// into EXPERIMENTS.md.
+//
+// The whole evaluation is one cross product of {system x scheme x benchmark
+// x look-ahead x extension knobs}, and figures share most of its cells (16
+// through 19 and 22 all come from the same sweep). The Runner is therefore a
+// sweep engine: every cell is cached per full configuration, concurrent
+// requests for the same cell share one execution (singleflight), and fresh
+// cells run on a bounded worker pool. Generators prefetch their cross
+// product up front, so the serial row-assembly loops that follow find every
+// cell warm or in flight. Results are deterministic regardless of scheduling:
+// each cell's configuration (including its stream seed) is a pure function
+// of the cell's key, so -j 1 and -j N produce byte-identical tables.
 package experiments
 
 import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"mil/internal/fault"
 	"mil/internal/sim"
 	"mil/internal/workload"
 )
@@ -41,24 +55,89 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
-// runKey identifies one cached simulation.
-type runKey struct {
-	system    sim.SystemKind
-	scheme    string
-	bench     string
-	x         int
-	powerDown bool
+// Spec identifies one cell of the sweep cross product. The zero extension
+// fields select the clean evaluation configuration of Figures 16-22.
+type Spec struct {
+	System    sim.SystemKind
+	Scheme    string
+	Bench     string
+	X         int  // MiL look-ahead override (0 = scheme default)
+	PowerDown bool // Extension 3 fast power-down
+
+	// Reliability cells (Extension 5): link BER with the DDR4 RAS features
+	// (write CRC + CA parity) enabled. RAS implies a seeded run even at
+	// BER = 0, so the clean anchors come from the same stream family.
+	BER float64
+	RAS bool
+}
+
+// reliability reports whether the cell runs the fault/RAS path.
+func (s Spec) reliability() bool { return s.RAS || s.BER > 0 }
+
+// label renders the cell for progress lines.
+func (s Spec) label() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s/%s/%s", s.System, s.Scheme, s.Bench)
+	if s.X > 0 {
+		fmt.Fprintf(&sb, " x=%d", s.X)
+	}
+	if s.PowerDown {
+		sb.WriteString(" pd")
+	}
+	if s.reliability() {
+		fmt.Fprintf(&sb, " ber=%g", s.BER)
+	}
+	return sb.String()
 }
 
 // Runner executes and caches simulations.
+//
+// A Runner is safe for concurrent use; configure the exported fields before
+// the first run and leave them alone afterwards. The zero MemOps/Workers
+// select the defaults.
 type Runner struct {
 	// MemOps is the per-thread memory-operation budget for every run.
 	MemOps int64
-	// Progress, when non-nil, receives one line per fresh simulation.
+	// Workers bounds the number of simulations in flight (the -j dial);
+	// 0 selects GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, receives one line per fresh simulation with
+	// its wall-clock cost. Line order follows completion order and is the
+	// only output that depends on scheduling; tables never do.
 	Progress io.Writer
+	// Suite, when non-empty, restricts every suite-driven figure to these
+	// benchmarks (must be Table 3 names). The golden-file regression
+	// harness uses it to pin the full generator set on a reduced suite that
+	// regenerates in seconds. Figures that hard-code their benchmarks per
+	// the paper (Figure 2's CG/GUPS, Extension 5's GUPS) are unaffected.
+	// nil selects the full Table 3 suite.
+	Suite []string
+	// BaseSeed, when non-zero, replaces the legacy stream seeds with seeds
+	// derived from BaseSeed and the cell's benchmark. The scheme and system
+	// are deliberately excluded from the derivation: every scheme must
+	// replay the identical access trace (the paper's controlled-variable
+	// methodology), so the seed may depend only on what the workload is,
+	// never on how it is coded. BaseSeed == 0 keeps the legacy seeds
+	// (0 for evaluation cells, 1 for reliability cells), under which the
+	// archived EXPERIMENTS.md numbers remain reproducible.
+	BaseSeed uint64
 
-	cache      map[runKey]*sim.Result
-	faultCache map[faultKey]*sim.Result
+	mu    sync.Mutex
+	cache map[string]*inflight
+	sem   chan struct{}
+	wg    sync.WaitGroup
+
+	launched atomic.Int64
+	finished atomic.Int64
+	simNanos atomic.Int64
+}
+
+// inflight is one cache entry: done closes when res/err are final, so
+// concurrent requests for the same key share a single execution.
+type inflight struct {
+	done chan struct{}
+	res  *sim.Result
+	err  error
 }
 
 // NewRunner returns a runner with the given run length (0 = default).
@@ -66,43 +145,180 @@ func NewRunner(memOps int64) *Runner {
 	if memOps <= 0 {
 		memOps = sim.DefaultMemOps
 	}
-	return &Runner{MemOps: memOps, cache: make(map[runKey]*sim.Result)}
+	return &Runner{MemOps: memOps}
 }
+
+// Stats reports the number of completed fresh simulations and their summed
+// single-threaded wall-clock cost (the serial-equivalent time).
+func (r *Runner) Stats() (runs int64, simTime time.Duration) {
+	return r.finished.Load(), time.Duration(r.simNanos.Load())
+}
+
+// workers returns the effective pool width.
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// seedFor derives the cell's stream seed; see BaseSeed for the contract.
+func (r *Runner) seedFor(s Spec) uint64 {
+	var legacy uint64
+	if s.reliability() {
+		legacy = 1
+	}
+	if r.BaseSeed == 0 {
+		return legacy
+	}
+	seed := splitmix64(r.BaseSeed ^ fnv64(s.Bench) ^ (legacy * 0x9e3779b97f4a7c15))
+	if seed == 0 {
+		seed = 1 // zero would silently select the legacy streams
+	}
+	return seed
+}
+
+// configFor expands a cell into its full simulator configuration. It is a
+// pure function of (Runner settings, Spec): determinism of the sweep reduces
+// to determinism of sim.Run, which owns no shared state.
+func (r *Runner) configFor(s Spec) (sim.Config, error) {
+	b, err := workload.ByName(s.Bench)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg := sim.Config{
+		System: s.System, Scheme: s.Scheme, Benchmark: b,
+		MemOpsPerThread: r.MemOps, LookaheadX: s.X, PowerDown: s.PowerDown,
+		Seed: r.seedFor(s),
+	}
+	if s.reliability() {
+		cfg.Fault = fault.Config{BER: s.BER}
+		cfg.WriteCRC, cfg.CAParity = true, true
+	}
+	return cfg, nil
+}
+
+// runKeyOf renders the full semantic configuration of a run as a canonical
+// string. Every field that can change a result is included - the former
+// struct key dropped the reliability and seed dimensions, so two distinct
+// configurations could alias to one cached result on extension paths.
+func runKeyOf(cfg *sim.Config) string {
+	return fmt.Sprintf("sys=%v scheme=%s bench=%s ops=%d x=%d pd=%t verify=%t fault=%+v crc=%t cap=%t retry=%+v seed=%d",
+		cfg.System, cfg.Scheme, cfg.Benchmark.Name, cfg.MemOpsPerThread,
+		cfg.LookaheadX, cfg.PowerDown, cfg.Verify, cfg.Fault,
+		cfg.WriteCRC, cfg.CAParity, cfg.Retry, cfg.Seed)
+}
+
+// cell returns the cached, in-flight, or freshly computed result for a cell.
+func (r *Runner) cell(s Spec) (*sim.Result, error) {
+	cfg, err := r.configFor(s)
+	if err != nil {
+		return nil, err
+	}
+	return r.result(cfg, s.label())
+}
+
+// result is the singleflight core: the first caller for a key computes it on
+// a worker slot while later callers block on the entry; distinct keys run in
+// parallel up to the pool width.
+func (r *Runner) result(cfg sim.Config, label string) (*sim.Result, error) {
+	key := runKeyOf(&cfg)
+	r.mu.Lock()
+	if r.cache == nil {
+		r.cache = make(map[string]*inflight)
+	}
+	if e, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		<-e.done
+		return e.res, e.err
+	}
+	e := &inflight{done: make(chan struct{})}
+	r.cache[key] = e
+	if r.sem == nil {
+		r.sem = make(chan struct{}, r.workers())
+	}
+	sem := r.sem
+	r.mu.Unlock()
+
+	sem <- struct{}{}
+	seq := r.launched.Add(1)
+	start := time.Now()
+	e.res, e.err = sim.Run(cfg)
+	elapsed := time.Since(start)
+	<-sem
+
+	r.finished.Add(1)
+	r.simNanos.Add(int64(elapsed))
+	if r.Progress != nil {
+		r.mu.Lock()
+		fmt.Fprintf(r.Progress, "run %d: %s ops=%d seed=%d (%.0fms)\n",
+			seq, label, cfg.MemOpsPerThread, cfg.Seed, float64(elapsed.Milliseconds()))
+		r.mu.Unlock()
+	}
+	close(e.done)
+	return e.res, e.err
+}
+
+// Prefetch schedules cells on the worker pool without waiting for them.
+// Table generators call it with their full cross product up front; errors
+// (if any) surface when the generator fetches the failed cell.
+func (r *Runner) Prefetch(specs ...Spec) {
+	for _, s := range specs {
+		s := s
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			_, _ = r.cell(s)
+		}()
+	}
+}
+
+// Wait blocks until every prefetched cell has settled.
+func (r *Runner) Wait() { r.wg.Wait() }
 
 // get returns the cached or freshly computed result for a configuration.
 func (r *Runner) get(system sim.SystemKind, scheme, bench string, x int) (*sim.Result, error) {
-	return r.getPD(system, scheme, bench, x, false)
+	return r.cell(Spec{System: system, Scheme: scheme, Bench: bench, X: x})
 }
 
 // getPD is get with the power-down extension toggled (Extension 3).
 func (r *Runner) getPD(system sim.SystemKind, scheme, bench string, x int, pd bool) (*sim.Result, error) {
-	key := runKey{system, scheme, bench, x, pd}
-	if res, ok := r.cache[key]; ok {
-		return res, nil
+	return r.cell(Spec{System: system, Scheme: scheme, Bench: bench, X: x, PowerDown: pd})
+}
+
+// getFault returns the result for a reliability cell: the scheme under link
+// BER with DDR4 write CRC and CA parity enabled, seeded for reproducibility.
+func (r *Runner) getFault(system sim.SystemKind, scheme, bench string, ber float64) (*sim.Result, error) {
+	return r.cell(Spec{System: system, Scheme: scheme, Bench: bench, BER: ber, RAS: true})
+}
+
+// names returns the effective benchmark suite in Table 3 order.
+func (r *Runner) names() []string {
+	if len(r.Suite) > 0 {
+		return r.Suite
 	}
-	b, err := workload.ByName(bench)
-	if err != nil {
-		return nil, err
+	return workload.Names()
+}
+
+// prefetchSuite schedules scheme x suite cross products (the common shape of
+// the evaluation figures) plus the baselines suiteSorted needs.
+func (r *Runner) prefetchSuite(system sim.SystemKind, schemes ...string) {
+	var specs []Spec
+	for _, n := range r.names() {
+		specs = append(specs, Spec{System: system, Scheme: "baseline", Bench: n})
+		for _, s := range schemes {
+			specs = append(specs, Spec{System: system, Scheme: s, Bench: n})
+		}
 	}
-	if r.Progress != nil {
-		fmt.Fprintf(r.Progress, "run %s/%s/%s x=%d pd=%v ops=%d\n", system, scheme, bench, x, pd, r.MemOps)
-	}
-	res, err := sim.Run(sim.Config{
-		System: system, Scheme: scheme, Benchmark: b,
-		MemOpsPerThread: r.MemOps, LookaheadX: x, PowerDown: pd,
-	})
-	if err != nil {
-		return nil, err
-	}
-	r.cache[key] = res
-	return res, nil
+	r.Prefetch(specs...)
 }
 
 // suiteSorted returns the benchmark names sorted by the baseline run's bus
 // utilization on the given system, low to high - the paper's presentation
 // order for Figures 5 and 16-19.
 func (r *Runner) suiteSorted(system sim.SystemKind) ([]string, error) {
-	names := append([]string(nil), workload.Names()...)
+	names := append([]string(nil), r.names()...)
+	r.prefetchSuite(system)
 	util := make(map[string]float64, len(names))
 	for _, n := range names {
 		res, err := r.get(system, "baseline", n, 0)
@@ -113,6 +329,23 @@ func (r *Runner) suiteSorted(system sim.SystemKind) ([]string, error) {
 	}
 	sort.SliceStable(names, func(i, j int) bool { return util[names[i]] < util[names[j]] })
 	return names, nil
+}
+
+// fnv64 hashes a string (FNV-1a).
+func fnv64(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for _, c := range []byte(s) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}
+
+// splitmix64 is the SplitMix64 finalizer, used to whiten derived seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // geomean returns the geometric mean of positive values.

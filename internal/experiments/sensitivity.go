@@ -10,11 +10,12 @@ import (
 // coding with BL10 (MiLC), BL12/BL14 (stretched intermediate codes) and
 // BL16 (3-LWC) on the DDR4 system.
 func (r *Runner) Figure20() (*Table, error) {
+	schemes := []string{"bl10", "bl12", "bl14", "bl16"}
+	r.prefetchSuite(sim.Server, schemes...)
 	names, err := r.suiteSorted(sim.Server)
 	if err != nil {
 		return nil, err
 	}
-	schemes := []string{"bl10", "bl12", "bl14", "bl16"}
 	t := &Table{
 		ID:    "Figure 20",
 		Title: "Execution time vs fixed burst length, normalized to BL8 baseline (DDR4)",
@@ -51,6 +52,13 @@ func (r *Runner) Figure20() (*Table, error) {
 // Figure21 reproduces the look-ahead-distance sweep: MiL's execution time
 // (geometric mean over the suite, normalized to baseline) as X varies.
 func (r *Runner) Figure21() (*Table, error) {
+	var specs []Spec
+	for _, x := range []int{2, 4, 6, 8, 10, 12, 14} {
+		for _, n := range r.names() {
+			specs = append(specs, Spec{System: sim.Server, Scheme: "mil", Bench: n, X: x})
+		}
+	}
+	r.Prefetch(specs...)
 	names, err := r.suiteSorted(sim.Server)
 	if err != nil {
 		return nil, err

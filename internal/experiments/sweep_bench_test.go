@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+// BenchmarkSweep measures the figure sweep end to end on the reduced golden
+// suite, serial vs parallel, from a cold cache each iteration. The ratio of
+// the two is the engine's speedup; cmd/milbench records it (with codec
+// micro-benchmarks) into BENCH_sweep.json for trajectory tracking. On a
+// multi-core host the parallel variant should approach min(workers, cores)x.
+func benchmarkSweep(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		r := NewRunner(goldenOps)
+		r.Suite = goldenSuite()
+		r.Workers = workers
+		tables, err := r.All()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) != len(Generators()) {
+			b.Fatalf("%d tables", len(tables))
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { benchmarkSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchmarkSweep(b, 0) } // GOMAXPROCS

@@ -125,19 +125,19 @@ type Stats struct {
 	// and every detected failure either requeues or exhausts its budget, so
 	// WriteCRCAlerts + CAParityAlerts + ReadDecodeFailures ==
 	// WriteRetries + ReadRetries + RetriesExhausted.
-	WritesCompleted   int64 // writes retired (committed or abandoned)
-	WriteCRCAlerts    int64 // write bursts NACKed by device write-CRC
-	CAParityAlerts    int64 // column commands rejected by CA parity
+	WritesCompleted    int64 // writes retired (committed or abandoned)
+	WriteCRCAlerts     int64 // write bursts NACKed by device write-CRC
+	CAParityAlerts     int64 // column commands rejected by CA parity
 	ReadDecodeFailures int64 // read bursts the controller-side decoder rejected
-	WriteRetries      int64 // failed write bursts requeued for replay
-	ReadRetries       int64 // failed read bursts requeued for replay
-	RetriesExhausted  int64 // requests abandoned after the retry budget
-	RetryStorms       int64 // entries into the retry-storm backoff regime
-	SilentErrors      int64 // corrupted bursts delivered undetected
-	BitErrors         int64 // wire bit flips injected on this channel
-	RetryBeats        int64 // beats consumed by bursts that ended NACKed
-	RetryCostUnits    int64 // IO energy units wasted on failed bursts
-	CRCBeats          int64 // extra beats appended for write CRC
+	WriteRetries       int64 // failed write bursts requeued for replay
+	ReadRetries        int64 // failed read bursts requeued for replay
+	RetriesExhausted   int64 // requests abandoned after the retry budget
+	RetryStorms        int64 // entries into the retry-storm backoff regime
+	SilentErrors       int64 // corrupted bursts delivered undetected
+	BitErrors          int64 // wire bit flips injected on this channel
+	RetryBeats         int64 // beats consumed by bursts that ended NACKed
+	RetryCostUnits     int64 // IO energy units wasted on failed bursts
+	CRCBeats           int64 // extra beats appended for write CRC
 }
 
 // busHistEdges are the bucket edges shared by the gap and slack histograms.

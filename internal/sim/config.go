@@ -3,6 +3,18 @@
 // become controller requests scheduled onto the cycle-accurate DRAM model,
 // with every burst's bits accounted by the IO model. One Run reproduces one
 // bar of the paper's figures.
+//
+// Re-entrancy contract: Run is safe to call from any number of goroutines
+// at once. No package in the stack (sim, memctrl, dram, cache, cpu, code,
+// milcore, fault, energy, workload, bitblock) holds package-level mutable
+// state - the only package-level variables anywhere are init-time constant
+// tables - and Run builds a private instance of every model it ticks.
+// Config is a plain value, safely copyable; the pointers it carries
+// (Benchmark, Trace) are the caller's to share or not. A *workload.Benchmark
+// may feed concurrent runs (its lazy layout memoization is synchronized),
+// but a Trace writer shared between runs will interleave lines. Identical
+// Configs produce bit-identical Results regardless of how many runs execute
+// concurrently: every stochastic path is seeded from Config alone.
 package sim
 
 import (

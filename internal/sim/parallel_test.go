@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"mil/internal/workload"
+)
+
+// The re-entrancy contract (see the package comment): concurrent Runs share
+// nothing, and identical Configs produce bit-identical Results no matter how
+// they are scheduled. These tests are the sweep engine's foundation and are
+// meant to run under -race.
+
+// parallelOps keeps the concurrent runs short; the contract is about
+// sharing, not about run length.
+const parallelOps = 80
+
+// TestRunConcurrentIdentical runs one configuration serially and four times
+// concurrently (each with its own Benchmark value, as the experiments
+// runner does) and requires identical results.
+func TestRunConcurrentIdentical(t *testing.T) {
+	cfg := func(t *testing.T) Config {
+		b, err := workload.ByName("GUPS")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{System: Server, Scheme: "mil", Benchmark: b, MemOpsPerThread: parallelOps}
+	}
+	want, err := Run(cfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 4
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		c := cfg(t)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = Run(c)
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(want, results[i]) {
+			t.Fatalf("concurrent run %d diverged from the serial run:\nserial:     %+v\nconcurrent: %+v",
+				i, want, results[i])
+		}
+	}
+}
+
+// TestRunSharedBenchmark shares ONE *workload.Benchmark value between
+// concurrent runs of different schemes: the benchmark's lazy layout
+// memoization is the only mutation in the whole stack, and it must be safe
+// to race into.
+func TestRunSharedBenchmark(t *testing.T) {
+	b, err := workload.ByName("MM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes := []string{"baseline", "milc", "mil", "lwc3"}
+	results := make([]*Result, len(schemes))
+	errs := make([]error, len(schemes))
+	var wg sync.WaitGroup
+	for i, s := range schemes {
+		i, s := i, s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = Run(Config{
+				System: Server, Scheme: s, Benchmark: b, MemOpsPerThread: parallelOps,
+			})
+		}()
+	}
+	wg.Wait()
+	for i, s := range schemes {
+		if errs[i] != nil {
+			t.Fatalf("%s: %v", s, errs[i])
+		}
+		if results[i].Mem.ColumnCommands() == 0 {
+			t.Fatalf("%s: no traffic", s)
+		}
+	}
+
+	// The shared value must now behave exactly like a fresh one.
+	fresh, err := workload.ByName("MM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lines() != fresh.Lines() {
+		t.Fatalf("shared benchmark layout corrupted: %d lines vs %d", b.Lines(), fresh.Lines())
+	}
+	again, err := Run(Config{System: Server, Scheme: "baseline", Benchmark: b, MemOpsPerThread: parallelOps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, results[0]) {
+		t.Fatal("re-run on the shared benchmark diverged from the concurrent run")
+	}
+}
+
+// TestConfigCopyable pins the Config contract the sweep engine relies on: a
+// copied Config must run identically to the original.
+func TestConfigCopyable(t *testing.T) {
+	b, err := workload.ByName("GUPS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := Config{System: Server, Scheme: "milc", Benchmark: b, MemOpsPerThread: parallelOps, Seed: 7}
+	cp := orig
+	r1, err := Run(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("copied Config ran differently from the original")
+	}
+}

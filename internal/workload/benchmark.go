@@ -3,6 +3,8 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"mil/internal/bitblock"
 	"mil/internal/cpu"
@@ -62,7 +64,16 @@ type Benchmark struct {
 
 	totalLines  int64
 	totalWeight int
-	finalized   bool
+
+	// The lazy layout memoization below is what makes a *Benchmark safe to
+	// share between concurrent runs: finalize is the only mutation, it is
+	// idempotent, and after it fires every field above is read-only. The
+	// atomic flag keeps the per-access fast path (LineData, StoreData)
+	// lock-free; the mutex serializes the one-time slow path. Streams
+	// returned by NewStreamsSeeded are NOT shared - each run gets its own.
+	finalizeMu sync.Mutex
+	finalized  atomic.Bool
+	finalErr   error
 }
 
 // WithComputeScale returns a copy of the benchmark whose compute padding is
@@ -73,26 +84,41 @@ func (b *Benchmark) WithComputeScale(scale int64) *Benchmark {
 	if scale < 1 {
 		scale = 1
 	}
-	out := *b
-	out.Regions = append([]Region(nil), b.Regions...)
-	out.Bursts = append([]Burst(nil), b.Bursts...)
-	out.ComputePerMem = b.ComputePerMem * scale
+	// Build the copy field by field (never `*b`: that would copy the
+	// finalize lock and the memoized layout, and re-finalizing stale sums
+	// would double them). The fresh value re-finalizes from scratch.
+	out := &Benchmark{
+		Name: b.Name, Suite: b.Suite, Input: b.Input,
+		Regions:       append([]Region(nil), b.Regions...),
+		Bursts:        append([]Burst(nil), b.Bursts...),
+		ComputePerMem: b.ComputePerMem * scale,
+	}
+	for i := range out.Regions {
+		out.Regions[i].base = 0
+	}
 	if out.ComputePerMem == 0 {
 		out.ComputePerMem = scale - 1
 	}
-	// Drop the memoized finalize state: the source may already be
-	// finalized, and re-finalizing stale sums would double them.
-	out.finalized = false
-	out.totalWeight = 0
-	out.totalLines = 0
-	return &out
+	return out
 }
 
-// finalize lays regions out in line space and validates the spec.
+// finalize lays regions out in line space and validates the spec. It is
+// safe (and cheap) to call from concurrent runs sharing one Benchmark.
 func (b *Benchmark) finalize() error {
-	if b.finalized {
-		return nil
+	if b.finalized.Load() {
+		return b.finalErr
 	}
+	b.finalizeMu.Lock()
+	defer b.finalizeMu.Unlock()
+	if b.finalized.Load() {
+		return b.finalErr
+	}
+	b.finalErr = b.doFinalize()
+	b.finalized.Store(true)
+	return b.finalErr
+}
+
+func (b *Benchmark) doFinalize() error {
 	if len(b.Regions) == 0 || len(b.Bursts) == 0 {
 		return fmt.Errorf("workload %s: empty spec", b.Name)
 	}
@@ -118,7 +144,6 @@ func (b *Benchmark) finalize() error {
 		}
 		b.totalWeight += bu.Weight
 	}
-	b.finalized = true
 	return nil
 }
 

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// The sweep engine shares one *Benchmark value between concurrent sim.Runs,
+// so the lazy layout memoization in finalize must tolerate being raced into
+// and every accessor must then return the same answers a fresh value would.
+// Run with -race.
+
+func TestBenchmarkConcurrentFinalize(t *testing.T) {
+	for _, name := range []string{"MM", "GUPS"} {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLines := fresh.Lines() // finalize the reference serially
+
+		const goroutines = 8
+		lines := make([]int64, goroutines)
+		data := make([][]byte, goroutines)
+		errs := make([]error, goroutines)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Race straight into the lazy finalize from every accessor
+				// the simulator uses mid-run.
+				lines[g] = b.Lines()
+				blk := b.LineData(int64(g) % b.Lines())
+				data[g] = blk[:]
+				streams, err := b.NewStreamsSeeded(2, 30, uint64(g))
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if len(streams) != 2 {
+					t.Errorf("goroutine %d: %d streams", g, len(streams))
+				}
+				_ = b.StoreData(0, uint64(g))
+			}()
+		}
+		wg.Wait()
+		for g := 0; g < goroutines; g++ {
+			if errs[g] != nil {
+				t.Fatalf("%s goroutine %d: %v", name, g, errs[g])
+			}
+			if lines[g] != wantLines {
+				t.Fatalf("%s goroutine %d: Lines() = %d, fresh value says %d",
+					name, g, lines[g], wantLines)
+			}
+			want := fresh.LineData(int64(g) % wantLines)
+			if !reflect.DeepEqual(data[g], want[:]) {
+				t.Fatalf("%s goroutine %d: LineData diverged from a fresh benchmark", name, g)
+			}
+		}
+	}
+}
+
+// TestWithComputeScaleConcurrent derives scaled copies concurrently from one
+// shared base (what per-system configFor does when both system flavors of a
+// figure are in flight) and checks the copies are independent values.
+func TestWithComputeScaleConcurrent(t *testing.T) {
+	base, err := ByName("MM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	scaled := make([]*Benchmark, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scaled[g] = base.WithComputeScale(3)
+			_ = scaled[g].Lines() // finalize the copy concurrently too
+		}()
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if scaled[g] == base {
+			t.Fatal("WithComputeScale returned the shared base")
+		}
+		if scaled[g].Lines() != scaled[0].Lines() {
+			t.Fatalf("scaled copy %d has %d lines, copy 0 has %d",
+				g, scaled[g].Lines(), scaled[0].Lines())
+		}
+		if scaled[g].ComputePerMem == base.ComputePerMem {
+			t.Fatalf("scaled copy %d kept the base compute ratio", g)
+		}
+	}
+}
