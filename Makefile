@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify fuzz bench golden experiments clean
+.PHONY: all build vet test race verify kernelcheck fuzz bench benchdiff profile golden experiments clean
 
 all: verify
 
@@ -23,19 +23,49 @@ race:
 	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/workload/
 	$(GO) test -race ./...
 
-verify: build vet test race
+verify: build vet test race kernelcheck
 
-# Short fuzz passes over the codec round-trip and corrupted-decode
-# properties; CI-sized, not exhaustive.
+# The kernel-layer referee, run explicitly as part of verify: the
+# differential fuzz seed corpus (word-parallel counters vs bit-at-a-time
+# references) plus the probe/scratch equivalence and zero-alloc checks.
+kernelcheck:
+	$(GO) test -run 'FuzzKernelEquivalence|TestCostZerosEquivalence|TestEncodeIntoMatchesEncode|TestSteadyStateZeroAllocs' -count=1 ./internal/code/
+
+# Short fuzz passes over the codec round-trip, corrupted-decode, and kernel
+# equivalence properties; CI-sized, not exhaustive.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzRoundTrip -fuzztime=30s ./internal/code/
 	$(GO) test -run=NONE -fuzz=FuzzDecodeCorrupted -fuzztime=30s ./internal/code/
+	$(GO) test -run=NONE -fuzz=FuzzKernelEquivalence -fuzztime=30s ./internal/code/
 
 # Machine-readable sweep + codec timings (BENCH_sweep.json), then the go
 # test benchmarks for spot numbers.
 bench:
 	$(GO) run ./cmd/milbench -j 8 -out BENCH_sweep.json
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Before/after comparison of the codec micro-benchmarks. Usage: run
+# `make benchdiff` on the base commit (seeds bench.old.txt), switch to the
+# change, run it again; it diffs via benchstat when installed and otherwise
+# leaves the raw files side by side.
+BENCHPKGS = ./internal/code/
+benchdiff:
+	@if [ -f bench.old.txt ]; then \
+		$(GO) test -run=NONE -bench 'BenchmarkEncode|BenchmarkDecode|BenchmarkCostZeros' -benchmem -count=6 $(BENCHPKGS) | tee bench.new.txt; \
+		if command -v benchstat >/dev/null 2>&1; then \
+			benchstat bench.old.txt bench.new.txt; \
+		else \
+			echo "benchdiff: benchstat not installed; compare bench.old.txt vs bench.new.txt by hand"; \
+		fi \
+	else \
+		$(GO) test -run=NONE -bench 'BenchmarkEncode|BenchmarkDecode|BenchmarkCostZeros' -benchmem -count=6 $(BENCHPKGS) | tee bench.old.txt; \
+		echo "benchdiff: baseline saved to bench.old.txt; re-run after your change"; \
+	fi
+
+# CPU-profile the reduced sweep and print the top-10 cumulative functions.
+profile:
+	$(GO) run ./cmd/milbench -ops 60 -codec-iters 20000 -out /tmp/mil_profile_bench.json -cpuprofile cpu.pprof -memprofile mem.pprof
+	$(GO) tool pprof -top -cum -nodecount=10 cpu.pprof
 
 # Re-bless the golden experiment snapshots after an intentional model
 # change; review the diff under internal/experiments/testdata/golden/.

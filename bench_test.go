@@ -30,6 +30,7 @@ func benchFigure(b *testing.B, id string) {
 	if gen.Run == nil {
 		b.Fatalf("unknown experiment %q", id)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchOps)
 		t, err := gen.Run(r)
@@ -68,6 +69,7 @@ func BenchmarkSimulatorCycle(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := sim.Run(sim.Config{
 			System: sim.Server, Scheme: "mil", Benchmark: bm, MemOpsPerThread: benchOps,
@@ -95,6 +97,7 @@ func randomBlocks(n int) []bitblock.Block {
 func benchEncode(b *testing.B, c code.Codec) {
 	blocks := randomBlocks(64)
 	b.SetBytes(64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bu := c.Encode(&blocks[i%len(blocks)])
@@ -107,6 +110,7 @@ func benchEncode(b *testing.B, c code.Codec) {
 func benchRoundTrip(b *testing.B, c code.Codec) {
 	blocks := randomBlocks(64)
 	b.SetBytes(64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		blk := &blocks[i%len(blocks)]

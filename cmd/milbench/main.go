@@ -24,6 +24,7 @@ import (
 	"mil/internal/bitblock"
 	"mil/internal/code"
 	"mil/internal/experiments"
+	"mil/internal/profiling"
 
 	"math/rand"
 )
@@ -36,6 +37,17 @@ type report struct {
 	GoMaxProcs int          `json:"gomaxprocs"`
 	Sweep      sweepReport  `json:"sweep"`
 	Codecs     []codecTimes `json:"codecs"`
+	// Previous carries the headline numbers of the report this run
+	// overwrote, so a committed BENCH_sweep.json always shows the
+	// before/after of the revision that regenerated it.
+	Previous *prevReport `json:"previous,omitempty"`
+}
+
+type prevReport struct {
+	Generated       string       `json:"generated"`
+	SerialSeconds   float64      `json:"serial_seconds"`
+	ParallelSeconds float64      `json:"parallel_seconds"`
+	Codecs          []codecTimes `json:"codecs"`
 }
 
 type sweepReport struct {
@@ -50,9 +62,14 @@ type sweepReport struct {
 }
 
 type codecTimes struct {
-	Name       string  `json:"name"`
-	EncodeNsOp float64 `json:"encode_ns_per_op"`
-	DecodeNsOp float64 `json:"decode_ns_per_op"`
+	Name           string  `json:"name"`
+	EncodeNsOp     float64 `json:"encode_ns_per_op"`
+	EncodeIntoNsOp float64 `json:"encode_into_ns_per_op"`
+	DecodeNsOp     float64 `json:"decode_ns_per_op"`
+	// Heap traffic of the steady-state (EncodeInto, scratch-burst) encode
+	// path, the one the phys run per column command; the target is 0.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
 func main() {
@@ -61,9 +78,17 @@ func main() {
 	suite := flag.String("suite", "MM,STRMATCH,GUPS", "comma-separated reduced workload suite")
 	iters := flag.Int("codec-iters", 2000, "iterations per codec micro-benchmark")
 	out := flag.String("out", "BENCH_sweep.json", "output JSON path (- for stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+
 	names := strings.Split(*suite, ",")
+	prev := loadPrevious(*out)
 	rep := report{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoOS:       runtime.GOOS,
@@ -99,10 +124,15 @@ func main() {
 			fatal(err)
 		}
 		rep.Codecs = append(rep.Codecs, ct)
-		fmt.Fprintf(os.Stderr, "milbench: %-7s encode %7.0f ns/op, decode %7.0f ns/op\n",
-			ct.Name, ct.EncodeNsOp, ct.DecodeNsOp)
+		fmt.Fprintf(os.Stderr, "milbench: %-7s encode %7.0f ns/op (into %7.0f, %.1f allocs/op), decode %7.0f ns/op\n",
+			ct.Name, ct.EncodeNsOp, ct.EncodeIntoNsOp, ct.AllocsPerOp, ct.DecodeNsOp)
 	}
 
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
+
+	rep.Previous = prev
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -158,6 +188,19 @@ func timeCodec(name string, iters int) (codecTimes, error) {
 	}
 	encNs := float64(time.Since(start).Nanoseconds()) / float64(iters)
 
+	// Steady-state path: one scratch burst reused, as the phys do. Measure
+	// wall-clock and heap traffic (mallocs/bytes) around the same loop.
+	var scratch bitblock.Burst
+	code.EncodeInto(c, &blocks[0], &scratch) // grow the scratch outside the window
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		code.EncodeInto(c, &blocks[i%len(blocks)], &scratch)
+	}
+	intoNs := float64(time.Since(start).Nanoseconds()) / float64(iters)
+	runtime.ReadMemStats(&m1)
+
 	start = time.Now()
 	for i := 0; i < iters; i++ {
 		if _, err := c.Decode(bursts[i]); err != nil {
@@ -166,7 +209,37 @@ func timeCodec(name string, iters int) (codecTimes, error) {
 	}
 	decNs := float64(time.Since(start).Nanoseconds()) / float64(iters)
 
-	return codecTimes{Name: name, EncodeNsOp: encNs, DecodeNsOp: decNs}, nil
+	return codecTimes{
+		Name:           name,
+		EncodeNsOp:     encNs,
+		EncodeIntoNsOp: intoNs,
+		DecodeNsOp:     decNs,
+		AllocsPerOp:    float64(m1.Mallocs-m0.Mallocs) / float64(iters),
+		BytesPerOp:     float64(m1.TotalAlloc-m0.TotalAlloc) / float64(iters),
+	}, nil
+}
+
+// loadPrevious distills the report currently at path (if any) into the
+// next report's before-numbers; nested previous sections are dropped so
+// the file never grows beyond one generation of history.
+func loadPrevious(path string) *prevReport {
+	if path == "-" {
+		return nil
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var old report
+	if err := json.Unmarshal(buf, &old); err != nil {
+		return nil
+	}
+	return &prevReport{
+		Generated:       old.Generated,
+		SerialSeconds:   old.Sweep.SerialSeconds,
+		ParallelSeconds: old.Sweep.ParallelSeconds,
+		Codecs:          old.Codecs,
+	}
 }
 
 func fatal(err error) {

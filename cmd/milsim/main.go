@@ -27,6 +27,7 @@ import (
 
 	"mil/internal/fault"
 	"mil/internal/memctrl"
+	"mil/internal/profiling"
 	"mil/internal/sim"
 	"mil/internal/workload"
 )
@@ -53,8 +54,24 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "run seed for streams and fault injection (0 = legacy streams)")
 		workers  = flag.Int("j", 0, "runs in flight for -bench all (0 = GOMAXPROCS)")
 		progress = flag.Bool("progress", false, "stream per-run completion lines on stderr")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "milsim:", err)
+		os.Exit(1)
+	}
+	// Finish the profiles on every exit path below (os.Exit skips defers).
+	exit := func(code int) {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "milsim:", err)
+		}
+		os.Exit(code)
+	}
 
 	fc := fault.Config{BER: *ber, BurstRate: *bursterr, BurstLen: *burstlen}
 	if *stuckpin >= 0 {
@@ -67,7 +84,7 @@ func main() {
 		f, err := os.Create(*trace)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "milsim:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		defer f.Close()
 		traceW = bufio.NewWriter(f)
@@ -81,7 +98,7 @@ func main() {
 		kind = sim.Mobile
 	default:
 		fmt.Fprintf(os.Stderr, "milsim: unknown system %q\n", *system)
-		os.Exit(2)
+		exit(2)
 	}
 
 	benches := []string{*bench}
@@ -113,7 +130,7 @@ func main() {
 		b, err := workload.ByName(name)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "milsim:", err)
-			os.Exit(2)
+			exit(2)
 		}
 		i, name, b := i, name, b
 		wg.Add(1)
@@ -144,9 +161,13 @@ func main() {
 	for _, o := range results {
 		if o.err != nil {
 			fmt.Fprintln(os.Stderr, "milsim:", o.err)
-			os.Exit(1)
+			exit(1)
 		}
 		report(o.res)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "milsim:", err)
+		os.Exit(1)
 	}
 }
 

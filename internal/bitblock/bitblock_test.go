@@ -268,3 +268,27 @@ func TestBurstWordOpsMatchBitOps(t *testing.T) {
 		}
 	}
 }
+
+// TestAppendZeroLength is the regression test for the stale-zero-word bug:
+// Append(v, 0) at a word boundary used to grow the backing array without
+// advancing the length, leaving a phantom word that corrupted the next
+// append and later made CountOnes shift by a negative amount.
+func TestAppendZeroLength(t *testing.T) {
+	b := NewBits(8)
+	b.Append(0, 0) // word-boundary zero-length append: must be a no-op
+	b.AppendBit(true)
+	if b.Len() != 1 || !b.Get(0) {
+		t.Fatalf("after Append(0,0)+AppendBit(true): len=%d get0=%v", b.Len(), b.Len() > 0 && b.Get(0))
+	}
+	if got := b.CountOnes(); got != 1 {
+		t.Fatalf("CountOnes = %d, want 1", got)
+	}
+	// Same at an interior word boundary.
+	b = NewBits(128)
+	b.Append(^uint64(0), 64)
+	b.Append(0x5, 0) // nbits=0 must ignore v entirely
+	b.Append(0xff, 8)
+	if b.Len() != 72 || b.CountOnes() != 72 {
+		t.Fatalf("len=%d ones=%d, want 72/72", b.Len(), b.CountOnes())
+	}
+}

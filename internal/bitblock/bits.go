@@ -26,6 +26,11 @@ func (b *Bits) Append(v uint64, nbits int) {
 	if nbits < 0 || nbits > 64 {
 		panic(fmt.Sprintf("bitblock: Append nbits %d out of range", nbits))
 	}
+	if nbits == 0 {
+		// A zero-length append at a word boundary must not grow words: the
+		// stale word would sit ahead of n and corrupt later appends.
+		return
+	}
 	if nbits < 64 {
 		v &= (1 << nbits) - 1
 	}

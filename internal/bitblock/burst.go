@@ -20,20 +20,41 @@ type Burst struct {
 
 // NewBurst allocates a zeroed burst. All pins start driven.
 func NewBurst(width, beats int) *Burst {
+	bu := &Burst{}
+	bu.Reset(width, beats)
+	return bu
+}
+
+// Reset reshapes the burst to width x beats, zeroes every bit, and marks all
+// pins driven, reusing the existing backing arrays when they are large
+// enough. It is the allocation-free equivalent of NewBurst for callers that
+// keep a scratch burst across operations.
+func (bu *Burst) Reset(width, beats int) {
 	if width <= 0 || width > 128 || beats <= 0 {
 		panic(fmt.Sprintf("bitblock: bad burst dims %dx%d", width, beats))
 	}
-	n := width * beats
-	bu := &Burst{
-		Width:  width,
-		Beats:  beats,
-		data:   make([]uint64, (n+63)/64),
-		driven: make([]uint64, (width+63)/64),
+	bu.Width, bu.Beats = width, beats
+	nd := (width*beats + 63) / 64
+	if cap(bu.data) < nd {
+		bu.data = make([]uint64, nd)
+	} else {
+		bu.data = bu.data[:nd]
+		for i := range bu.data {
+			bu.data[i] = 0
+		}
 	}
-	for p := 0; p < width; p++ {
-		bu.driven[p/64] |= 1 << (p % 64)
+	nw := (width + 63) / 64
+	if cap(bu.driven) < nw {
+		bu.driven = make([]uint64, nw)
+	} else {
+		bu.driven = bu.driven[:nw]
 	}
-	return bu
+	for i := range bu.driven {
+		bu.driven[i] = ^uint64(0)
+	}
+	if width%64 != 0 {
+		bu.driven[nw-1] = 1<<(width%64) - 1
+	}
 }
 
 // Bit returns the value on pin p during beat b.
@@ -133,32 +154,96 @@ func (bu *Burst) DrivenPins() int {
 	return n
 }
 
-// drivenChunk extracts the driven-mask bits for pins [base, base+n).
-func (bu *Burst) drivenChunk(base, n int) uint64 {
-	w, s := base/64, base%64
-	v := bu.driven[w] >> s
-	if s+n > 64 && w+1 < len(bu.driven) {
-		v |= bu.driven[w+1] << (64 - s)
+// DrivenWords returns the per-pin driven mask as two 64-bit words: pin p is
+// driven iff bit p of hi<<64|lo is set. Bits at and above Width are zero.
+func (bu *Burst) DrivenWords() (lo, hi uint64) {
+	lo = bu.driven[0]
+	if len(bu.driven) > 1 {
+		hi = bu.driven[1]
 	}
-	if n < 64 {
-		v &= 1<<n - 1
+	return lo, hi
+}
+
+// BeatWords extracts all Width pins of beat b as two 64-bit words: pin p is
+// bit p of hi<<64|lo. Bits at and above Width are zero. Together with
+// SetBeatWords it is the word-parallel alternative to per-pin Bit/SetBit on
+// the counting and serialization hot paths.
+func (bu *Burst) BeatWords(beat int) (lo, hi uint64) {
+	if beat < 0 || beat >= bu.Beats {
+		panic(fmt.Sprintf("bitblock: beat %d out of %d", beat, bu.Beats))
 	}
-	return v
+	i := beat * bu.Width
+	w, s := i/64, i%64
+	lo = bu.data[w] >> s
+	if s > 0 && w+1 < len(bu.data) {
+		lo |= bu.data[w+1] << (64 - s)
+	}
+	if bu.Width < 64 {
+		return lo & (1<<bu.Width - 1), 0
+	}
+	if bu.Width == 64 {
+		return lo, 0
+	}
+	if w+1 < len(bu.data) {
+		hi = bu.data[w+1] >> s
+	}
+	if s > 0 && w+2 < len(bu.data) {
+		hi |= bu.data[w+2] << (64 - s)
+	}
+	if bu.Width < 128 {
+		hi &= 1<<(bu.Width-64) - 1
+	}
+	return lo, hi
+}
+
+// SetBeatWords assigns all Width pins of beat b from two 64-bit words (pin p
+// = bit p of hi<<64|lo); bits at and above Width are ignored.
+func (bu *Burst) SetBeatWords(beat int, lo, hi uint64) {
+	if bu.Width > 64 {
+		bu.SetBeat(beat, 0, lo, 64)
+		bu.SetBeat(beat, 64, hi, bu.Width-64)
+		return
+	}
+	bu.SetBeat(beat, 0, lo, bu.Width)
+}
+
+// ExtendBeats grows the burst to total beats in place, driving every driven
+// pin high in the appended beats (the free pad level on a POD interface);
+// undriven pins stay low. Used by burst-stretching codecs and the write-CRC
+// path to avoid re-copying the data beats.
+func (bu *Burst) ExtendBeats(total int) {
+	if total < bu.Beats {
+		panic(fmt.Sprintf("bitblock: cannot shrink %d-beat burst to %d", bu.Beats, total))
+	}
+	if total == bu.Beats {
+		return
+	}
+	old := bu.Beats
+	nd := (bu.Width*total + 63) / 64
+	if cap(bu.data) >= nd {
+		bu.data = bu.data[:nd]
+	} else {
+		grown := make([]uint64, nd)
+		copy(grown, bu.data)
+		bu.data = grown
+	}
+	bu.Beats = total
+	d0, d1 := bu.DrivenWords()
+	for b := old; b < total; b++ {
+		bu.SetBeatWords(b, d0, d1)
+	}
 }
 
 // CountZeros returns the number of 0 bit-times on driven pins, the quantity
-// the DDR4 POD IO energy is proportional to (Section 2.1.1).
+// the DDR4 POD IO energy is proportional to (Section 2.1.1). It runs
+// word-parallel: two XOR/AND/popcount words per beat instead of a per-pin
+// walk.
 func (bu *Burst) CountZeros() int {
+	d0, d1 := bu.DrivenWords()
 	ones := 0
 	for b := 0; b < bu.Beats; b++ {
-		for base := 0; base < bu.Width; base += 64 {
-			n := bu.Width - base
-			if n > 64 {
-				n = 64
-			}
-			v := bu.BeatBits(b, base, n) & bu.drivenChunk(base, n)
-			ones += bits.OnesCount64(v)
-		}
+		lo, hi := bu.BeatWords(b)
+		ones += bits.OnesCount64(lo&d0) + bits.OnesCount64(hi&d1)
 	}
 	return bu.Beats*bu.DrivenPins() - ones
 }
@@ -189,20 +274,17 @@ func (s *BusState) SetPin(p int, v bool) {
 
 // Transitions counts the wire toggles this burst causes on driven pins given
 // the bus state before the burst, and advances the state. Undriven pins hold
-// their previous level.
+// their previous level. It runs word-parallel: each beat is two
+// XOR-with-state/AND-driven/popcount words, and the state advances by mask
+// merge instead of per-pin stores.
 func (bu *Burst) Transitions(s *BusState) int {
+	d0, d1 := bu.DrivenWords()
 	n := 0
 	for b := 0; b < bu.Beats; b++ {
-		for p := 0; p < bu.Width; p++ {
-			if !bu.Driven(p) {
-				continue
-			}
-			v := bu.Bit(b, p)
-			if v != s.Pin(p) {
-				n++
-				s.SetPin(p, v)
-			}
-		}
+		lo, hi := bu.BeatWords(b)
+		n += bits.OnesCount64((lo^s.last[0])&d0) + bits.OnesCount64((hi^s.last[1])&d1)
+		s.last[0] = s.last[0]&^d0 | lo&d0
+		s.last[1] = s.last[1]&^d1 | hi&d1
 	}
 	return n
 }

@@ -33,11 +33,61 @@ func BenchmarkEncode(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			b.SetBytes(int64(len(blocks[0])))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				bu := c.Encode(&blocks[i%len(blocks)])
 				if bu.Beats != c.Beats() {
 					b.Fatalf("%s: %d-beat burst, want %d", name, bu.Beats, c.Beats())
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkEncodeInto is the steady-state encode path the phys run: one
+// scratch burst reused across operations. allocs/op must report 0.
+func BenchmarkEncodeInto(b *testing.B) {
+	blocks := benchBlocks(64)
+	for _, name := range Names() {
+		c, err := ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			var scratch bitblock.Burst
+			EncodeInto(c, &blocks[0], &scratch) // grow the scratch outside the timer
+			b.SetBytes(int64(len(blocks[0])))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bu := EncodeInto(c, &blocks[i%len(blocks)], &scratch)
+				if bu.Beats != c.Beats() {
+					b.Fatalf("%s: %d-beat burst, want %d", name, bu.Beats, c.Beats())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCostZeros measures the arithmetic cost probe the write
+// optimization runs per candidate codec; it must be allocation-free and
+// cheaper than encoding.
+func BenchmarkCostZeros(b *testing.B) {
+	blocks := benchBlocks(64)
+	for _, name := range Names() {
+		c, err := ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(blocks[0])))
+			b.ReportAllocs()
+			acc := 0
+			for i := 0; i < b.N; i++ {
+				acc += CostZeros(c, &blocks[i%len(blocks)])
+			}
+			if acc < 0 {
+				b.Fatal("impossible zero count")
 			}
 		})
 	}
@@ -57,6 +107,7 @@ func BenchmarkDecode(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			b.SetBytes(int64(len(blocks[0])))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				j := i % len(bursts)
 				got, err := c.Decode(bursts[j])

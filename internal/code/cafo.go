@@ -2,6 +2,7 @@ package code
 
 import (
 	"fmt"
+	"math/bits"
 
 	"mil/internal/bitblock"
 )
@@ -39,43 +40,41 @@ func (c CAFO) ExtraLatency() int { return c.iters }
 // Iterations returns the configured pass count.
 func (c CAFO) Iterations() int { return c.iters }
 
-// cafoLane holds the encoder state for one 8x8 square.
+// cafoLane holds the encoder state for one 8x8 square. Flips are kept as
+// bitmasks so the wire matrix is data[r] ^ (rowFlip[r] ? 0xff : 0) ^
+// colFlip, never rebuilt per bit: a flipped column is one XOR mask and a
+// flipped row one complement, which keeps each pass O(64) instead of the
+// O(8^3) the naive per-cell rebuild costs.
 type cafoLane struct {
 	data    [8]byte // original rows
-	rowFlip [8]bool
-	colFlip [8]bool
+	rowFlip byte    // bit r = row r transmitted inverted
+	colFlip byte    // bit j = column j inverted
 }
 
 // wireRow returns row r after the current flips.
 func (l *cafoLane) wireRow(r int) byte {
 	w := l.data[r]
-	if l.rowFlip[r] {
+	if l.rowFlip>>r&1 == 1 {
 		w = ^w
 	}
-	var colMask byte
-	for j := 0; j < 8; j++ {
-		if l.colFlip[j] {
-			colMask |= 1 << j
-		}
-	}
-	return w ^ colMask
+	return w ^ l.colFlip
 }
 
 // rowPass greedily picks each row's flip to minimize that row's zeros plus
-// the flag bit's own zero cost. Returns true if any flip changed.
+// the flag bit's own zero cost. Row decisions are independent (a row flip
+// touches no other row), so each costs one popcount: keeping the row costs
+// its zeros z, flipping costs (8-z)+1 for the flag transmitted as 0.
+// Returns true if any flip changed.
 func (l *cafoLane) rowPass() bool {
 	changed := false
 	for r := 0; r < 8; r++ {
-		keep := l.rowFlip[r]
-
-		l.rowFlip[r] = false
-		costOff := zeros8(l.wireRow(r)) // flag transmitted as 1: free
-
-		l.rowFlip[r] = true
-		costOn := zeros8(l.wireRow(r)) + 1 // flag transmitted as 0
-
-		best := costOn < costOff
-		l.rowFlip[r] = best
+		keep := l.rowFlip >> r & 1
+		z := zeros8(l.data[r] ^ l.colFlip)
+		var best byte
+		if 8-z+1 < z {
+			best = 1
+		}
+		l.rowFlip = l.rowFlip&^(1<<r) | best<<r
 		if best != keep {
 			changed = true
 		}
@@ -83,31 +82,29 @@ func (l *cafoLane) rowPass() bool {
 	return changed
 }
 
-// wireColZeros counts zeros in column j under the current flips.
-func (l *cafoLane) wireColZeros(j int) int {
-	n := 0
+// colPass is rowPass transposed: column decisions are likewise independent
+// (column j's zeros depend only on bit j of each row), so one pass over the
+// 8x8 square yields every column's zero count.
+func (l *cafoLane) colPass() bool {
+	var colOnes [8]int
 	for r := 0; r < 8; r++ {
-		if l.wireRow(r)>>j&1 == 0 {
-			n++
+		w := l.data[r]
+		if l.rowFlip>>r&1 == 1 {
+			w = ^w
+		}
+		for j := 0; j < 8; j++ {
+			colOnes[j] += int(w >> j & 1)
 		}
 	}
-	return n
-}
-
-// colPass is rowPass transposed.
-func (l *cafoLane) colPass() bool {
 	changed := false
 	for j := 0; j < 8; j++ {
-		keep := l.colFlip[j]
-
-		l.colFlip[j] = false
-		costOff := l.wireColZeros(j)
-
-		l.colFlip[j] = true
-		costOn := l.wireColZeros(j) + 1
-
-		best := costOn < costOff
-		l.colFlip[j] = best
+		keep := l.colFlip >> j & 1
+		z := 8 - colOnes[j]
+		var best byte
+		if 8-z+1 < z {
+			best = 1
+		}
+		l.colFlip = l.colFlip&^(1<<j) | best<<j
 		if best != keep {
 			changed = true
 		}
@@ -115,11 +112,8 @@ func (l *cafoLane) colPass() bool {
 	return changed
 }
 
-// cafoEncodeLane runs the alternating passes and serializes the 80-bit
-// codeword: 8 wire rows, then 8 row flags, then 8 column flags, each flag
-// transmitted as 1 when no flip was applied.
-func cafoEncodeLane(lane uint64, iters int) *bitblock.Bits {
-	var l cafoLane
+// optimize runs the alternating row/column passes with early convergence.
+func (l *cafoLane) optimize(lane uint64, iters int) {
 	for r := 0; r < 8; r++ {
 		l.data[r] = byte(lane >> (8 * r))
 	}
@@ -134,31 +128,44 @@ func cafoEncodeLane(lane uint64, iters int) *bitblock.Bits {
 			break // converged early; remaining iterations are no-ops
 		}
 	}
-	out := bitblock.NewBits(80)
+}
+
+// cafoEncodeLane runs the alternating passes and serializes the 80-bit
+// codeword: 8 wire rows, then 8 row flags, then 8 column flags, each flag
+// transmitted as 1 when no flip was applied.
+func cafoEncodeLane(lane uint64, iters int) laneCW {
+	var l cafoLane
+	l.optimize(lane, iters)
+	var cw laneCW
 	for r := 0; r < 8; r++ {
-		out.Append(uint64(l.wireRow(r)), 8)
+		cw.append(uint64(l.wireRow(r)), 8)
 	}
+	cw.append(uint64(^l.rowFlip), 8) // flag bit r = 1 when row r not flipped
+	cw.append(uint64(^l.colFlip), 8)
+	return cw
+}
+
+// cafoLaneZeros is the cost probe: the zero count of the lane's codeword
+// without serializing it - each flipped row/column flag is itself one
+// transmitted zero.
+func cafoLaneZeros(lane uint64, iters int) int {
+	var l cafoLane
+	l.optimize(lane, iters)
+	z := 0
 	for r := 0; r < 8; r++ {
-		out.AppendBit(!l.rowFlip[r])
+		z += zeros8(l.wireRow(r))
 	}
-	for j := 0; j < 8; j++ {
-		out.AppendBit(!l.colFlip[j])
-	}
-	return out
+	return z + bits.OnesCount8(l.rowFlip) + bits.OnesCount8(l.colFlip)
 }
 
 // cafoDecodeLane inverts cafoEncodeLane.
-func cafoDecodeLane(cw *bitblock.Bits) uint64 {
-	var colMask byte
-	for j := 0; j < 8; j++ {
-		if !cw.Get(72 + j) {
-			colMask |= 1 << j
-		}
-	}
+func cafoDecodeLane(cw *laneCW) uint64 {
+	colMask := ^byte(cw.uint64(72, 8)) // flag 0 = column flipped
+	rowMask := ^byte(cw.uint64(64, 8))
 	var lane uint64
 	for r := 0; r < 8; r++ {
-		w := byte(cw.Uint64(r*8, 8)) ^ colMask
-		if !cw.Get(64 + r) {
+		w := byte(cw.uint64(r*8, 8)) ^ colMask
+		if rowMask>>r&1 == 1 {
 			w = ^w
 		}
 		lane |= uint64(w) << (8 * r)
@@ -169,14 +176,28 @@ func cafoDecodeLane(cw *bitblock.Bits) uint64 {
 // Encode implements Codec.
 func (c CAFO) Encode(blk *bitblock.Block) *bitblock.Burst {
 	bu := bitblock.NewBurst(BusWidth, 10)
-	parkDBIPins(bu)
-	for ch := 0; ch < bitblock.Chips; ch++ {
-		cw := cafoEncodeLane(blk.Lane(ch), c.iters)
-		for beat := 0; beat < 10; beat++ {
-			bu.SetBeat(beat, chipDataPin(ch, 0), cw.Uint64(beat*8, 8), 8)
-		}
-	}
+	c.EncodeInto(blk, bu)
 	return bu
+}
+
+// EncodeInto implements BurstEncoder.
+func (c CAFO) EncodeInto(blk *bitblock.Block, bu *bitblock.Burst) {
+	bu.Reset(BusWidth, 10)
+	parkDBIPins(bu)
+	var cws [bitblock.Chips]laneCW
+	for ch := range cws {
+		cws[ch] = cafoEncodeLane(blk.Lane(ch), c.iters)
+	}
+	storeLaneCodewords(bu, &cws, 10, 8)
+}
+
+// CostZeros implements ZeroCoster.
+func (c CAFO) CostZeros(blk *bitblock.Block) int {
+	z := 0
+	for ch := 0; ch < bitblock.Chips; ch++ {
+		z += cafoLaneZeros(blk.Lane(ch), c.iters)
+	}
+	return z
 }
 
 // Decode implements Codec. Like MiLC, every flag combination is valid, so
@@ -186,12 +207,10 @@ func (CAFO) Decode(bu *bitblock.Burst) (bitblock.Block, error) {
 	if err := checkDims("cafo", bu, 10); err != nil {
 		return blk, err
 	}
-	for ch := 0; ch < bitblock.Chips; ch++ {
-		cw := bitblock.NewBits(80)
-		for beat := 0; beat < 10; beat++ {
-			cw.Append(bu.BeatBits(beat, chipDataPin(ch, 0), 8), 8)
-		}
-		blk.SetLane(ch, cafoDecodeLane(cw))
+	var cws [bitblock.Chips]laneCW
+	loadLaneCodewords(bu, &cws, 10, 8)
+	for ch := range cws {
+		blk.SetLane(ch, cafoDecodeLane(&cws[ch]))
 	}
 	return blk, nil
 }

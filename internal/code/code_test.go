@@ -310,7 +310,8 @@ func TestMiLCLaneRoundTripExhaustiveRows(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	for n := 0; n < 5000; n++ {
 		lane := rng.Uint64()
-		if got := milcDecodeLane(milcEncodeLane(lane)); got != lane {
+		cw := milcEncodeLane(lane)
+		if got := milcDecodeLane(&cw); got != lane {
 			t.Fatalf("lane %016x decoded to %016x", lane, got)
 		}
 	}
@@ -324,12 +325,12 @@ func TestMiLCXorbiReducesZeros(t *testing.T) {
 		lane |= uint64(0xff) << (8 * r) // all-ones rows: original is free, XOR is terrible
 	}
 	cw := milcEncodeLane(lane)
-	if cw.Get(8) { // xorbi: false means the column was inverted
+	if cw.bit(8) { // xorbi: false means the column was inverted
 		t.Fatal("expected xorbi to invert an all-zero xor column")
 	}
 	// With the column inverted the xor slots of rows 1..7 must read 1.
 	for r := 1; r < 8; r++ {
-		if !cw.Get(r*10 + 8) {
+		if !cw.bit(r*10 + 8) {
 			t.Fatalf("row %d xor slot not inverted high", r)
 		}
 	}

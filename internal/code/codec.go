@@ -50,6 +50,48 @@ type Codec interface {
 	Decode(bu *bitblock.Burst) (bitblock.Block, error)
 }
 
+// ZeroCoster is the optional cost-probe fast path of a codec: CostZeros
+// returns exactly Encode(blk).CountZeros() - the coded burst's zero count on
+// driven pins - computed arithmetically from lane popcounts, without
+// materializing the burst. Scheme-selection logic (the MiL write
+// optimization, the tiered policy) probes candidate codecs with it instead
+// of paying for trial encodes it discards. The probe contract is exact
+// equality, enforced by TestCostZerosEquivalence for every implementation.
+type ZeroCoster interface {
+	CostZeros(blk *bitblock.Block) int
+}
+
+// CostZeros returns the number of zeros c's encoding of blk would carry,
+// via the arithmetic probe when c implements ZeroCoster and a trial encode
+// otherwise.
+func CostZeros(c Codec, blk *bitblock.Block) int {
+	if zc, ok := c.(ZeroCoster); ok {
+		return zc.CostZeros(blk)
+	}
+	return c.Encode(blk).CountZeros()
+}
+
+// BurstEncoder is the optional allocation-free encode path of a codec:
+// EncodeInto resets bu to the codec's dimensions and writes the coded burst
+// into it, so a caller-held scratch burst absorbs the per-op allocation of
+// Encode. The caller owns bu before and after the call and may not assume
+// any previous contents survive.
+type BurstEncoder interface {
+	EncodeInto(blk *bitblock.Block, bu *bitblock.Burst)
+}
+
+// EncodeInto encodes blk with c into scratch when c supports it, falling
+// back to a fresh Encode. The returned burst aliases scratch on the fast
+// path, so callers must treat it as invalidated by the next EncodeInto with
+// the same scratch.
+func EncodeInto(c Codec, blk *bitblock.Block, scratch *bitblock.Burst) *bitblock.Burst {
+	if be, ok := c.(BurstEncoder); ok && scratch != nil {
+		be.EncodeInto(blk, scratch)
+		return scratch
+	}
+	return c.Encode(blk)
+}
+
 // checkDims validates a burst's shape against what a codec's Decode
 // expects; every decoder calls it before touching bits so corrupted or
 // misrouted bursts surface as errors instead of index panics.

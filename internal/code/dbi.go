@@ -22,16 +22,28 @@ func (Raw) Beats() int { return 8 }
 func (Raw) ExtraLatency() int { return 0 }
 
 // Encode implements Codec.
-func (Raw) Encode(blk *bitblock.Block) *bitblock.Burst {
+func (r Raw) Encode(blk *bitblock.Block) *bitblock.Burst {
 	bu := bitblock.NewBurst(BusWidth, 8)
-	parkDBIPins(bu)
-	for beat := 0; beat < 8; beat++ {
-		for c := 0; c < bitblock.Chips; c++ {
-			bu.SetBeat(beat, chipDataPin(c, 0), uint64(blk[beat*bitblock.Chips+c]), 8)
-		}
-	}
+	r.EncodeInto(blk, bu)
 	return bu
 }
+
+// EncodeInto implements BurstEncoder.
+func (Raw) EncodeInto(blk *bitblock.Block, bu *bitblock.Burst) {
+	bu.Reset(BusWidth, 8)
+	parkDBIPins(bu)
+	for beat := 0; beat < 8; beat++ {
+		var lo, hi uint64
+		for c := 0; c < bitblock.Chips; c++ {
+			orBeatBits(&lo, &hi, chipDataPin(c, 0), uint64(blk[beat*bitblock.Chips+c]), 8)
+		}
+		bu.SetBeatWords(beat, lo, hi)
+	}
+}
+
+// CostZeros implements ZeroCoster: the data pins carry the block verbatim
+// and the DBI pins are parked.
+func (Raw) CostZeros(blk *bitblock.Block) int { return blk.CountZeros() }
 
 // Decode implements Codec. Raw cannot detect corruption: every burst
 // pattern is a valid encoding.
@@ -81,16 +93,42 @@ func dbiDecodeByte(wire byte, dbiBit bool) byte {
 }
 
 // Encode implements Codec.
-func (DBI) Encode(blk *bitblock.Block) *bitblock.Burst {
+func (d DBI) Encode(blk *bitblock.Block) *bitblock.Burst {
 	bu := bitblock.NewBurst(BusWidth, 8)
+	d.EncodeInto(blk, bu)
+	return bu
+}
+
+// EncodeInto implements BurstEncoder.
+func (DBI) EncodeInto(blk *bitblock.Block, bu *bitblock.Burst) {
+	bu.Reset(BusWidth, 8)
 	for beat := 0; beat < 8; beat++ {
+		var lo, hi uint64
 		for c := 0; c < bitblock.Chips; c++ {
 			wire, dbiBit := dbiEncodeByte(blk[beat*bitblock.Chips+c])
-			bu.SetBeat(beat, chipDataPin(c, 0), uint64(wire), 8)
-			bu.SetBit(beat, chipDBIPin(c), dbiBit)
+			group := uint64(wire)
+			if dbiBit {
+				group |= 1 << DataPinsPerChip
+			}
+			orBeatBits(&lo, &hi, chipDataPin(c, 0), group, PinsPerChip)
+		}
+		bu.SetBeatWords(beat, lo, hi)
+	}
+}
+
+// CostZeros implements ZeroCoster: a byte with z > 4 zeros is inverted and
+// its DBI bit (transmitted 0) adds one zero; otherwise the byte's own zeros
+// are paid.
+func (DBI) CostZeros(blk *bitblock.Block) int {
+	z := 0
+	for _, b := range blk {
+		if zb := 8 - bits.OnesCount8(b); zb > 4 {
+			z += (8 - zb) + 1
+		} else {
+			z += zb
 		}
 	}
-	return bu
+	return z
 }
 
 // Decode implements Codec. DBI cannot detect corruption: every 9-bit

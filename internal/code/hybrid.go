@@ -29,69 +29,50 @@ func (Hybrid) ExtraLatency() int { return 1 }
 // hybridLaneBits is the padded per-lane payload: 14 beats x 8 pins.
 const hybridLaneBits = 112
 
-// hybridEncodeLane maps one 64-bit lane to its 112-bit codeword.
-func hybridEncodeLane(lane uint64) *bitblock.Bits {
-	out := bitblock.NewBits(hybridLaneBits)
-
-	// Rows 0-3: a 4-row MiLC group. Row 0 carries the xorbi bit for the
-	// three XOR-mode bits of rows 1-3.
-	var rows [4]milcRow
-	r0 := byte(lane)
-	if zeros8(r0) > 4 {
-		rows[0] = milcRow{wire: ^r0, inv: false}
-	} else {
-		rows[0] = milcRow{wire: r0, inv: true}
-	}
-	prev := r0
-	for r := 1; r < 4; r++ {
-		cur := byte(lane >> (8 * r))
-		rows[r] = encodeMilcRow(cur, prev)
-		prev = cur
-	}
-	xorZeros := 0
-	for r := 1; r < 4; r++ {
-		xorZeros += boolBitZero(rows[r].xor)
-	}
-	// Invert the 3-bit column when it carries 2+ zeros (cost 3-z+1 < z).
-	invertColumn := xorZeros >= 2
-	xorbi := !invertColumn
-	for r := 0; r < 4; r++ {
-		out.Append(uint64(rows[r].wire), 8)
-		if r == 0 {
-			out.AppendBit(xorbi)
-		} else {
-			x := rows[r].xor
-			if invertColumn {
-				x = !x
-			}
-			out.AppendBit(x)
-		}
-		out.AppendBit(rows[r].inv)
-	}
-
-	// Bytes 4-7: 3-LWC words, transmitted inverted (<= 3 zeros each).
+// hybridEncodeLane maps one 64-bit lane to its 112-bit codeword: rows 0-3
+// are a 4-row MiLC group (row 0 carries the xorbi bit; the 3-bit xor column
+// inverts when it carries 2+ zeros, cost 3-z+1 < z), bytes 4-7 are 3-LWC
+// words transmitted inverted (<= 3 zeros each), and the last 4 bits pad
+// high.
+func hybridEncodeLane(lane uint64) laneCW {
+	var cw laneCW
+	var rows [8]milcRow
+	invertColumn, _ := milcRows(lane, &rows, 4, 2)
+	milcSerializeRows(&cw, &rows, 4, invertColumn)
 	for r := 4; r < 8; r++ {
 		w := lwcEncodeByte(byte(lane >> (8 * r)))
-		out.Append(uint64(^w)&0x1ffff, lwcWordBits)
+		cw.append(uint64(^w)&0x1ffff, lwcWordBits)
 	}
-	out.Append(0xf, 4) // pad high
-	return out
+	cw.append(0xf, 4) // pad high
+	return cw
+}
+
+// hybridLaneZeros is the cost probe: the zero count of
+// hybridEncodeLane(lane) without building the codeword.
+func hybridLaneZeros(lane uint64) int {
+	var rows [8]milcRow
+	invertColumn, xorZeros := milcRows(lane, &rows, 4, 2)
+	z := milcRowGroupZeros(&rows, 4, invertColumn, xorZeros)
+	for r := 4; r < 8; r++ {
+		z += int(lwcByteZeros[byte(lane>>(8*r))])
+	}
+	return z // the 4 pad bits are high: zero cost
 }
 
 // hybridDecodeLane inverts hybridEncodeLane. Corruption in the 3-LWC half
 // of the lane is detectable (sparse codeword space); the MiLC half is not.
-func hybridDecodeLane(cw *bitblock.Bits) (uint64, error) {
+func hybridDecodeLane(cw *laneCW) (uint64, error) {
 	var lane uint64
-	xorbi := cw.Get(8)
+	xorbi := cw.bit(8)
 	invertColumn := !xorbi
 	var prev byte
 	for r := 0; r < 4; r++ {
-		wire := byte(cw.Uint64(r*10, 8))
-		if !cw.Get(r*10 + 9) {
+		wire := byte(cw.uint64(r*10, 8))
+		if !cw.bit(r*10 + 9) {
 			wire = ^wire
 		}
 		if r > 0 {
-			x := cw.Get(r*10 + 8)
+			x := cw.bit(r*10 + 8)
 			if invertColumn {
 				x = !x
 			}
@@ -103,7 +84,7 @@ func hybridDecodeLane(cw *bitblock.Bits) (uint64, error) {
 		prev = wire
 	}
 	for r := 4; r < 8; r++ {
-		w := uint32(^cw.Uint64(40+(r-4)*lwcWordBits, lwcWordBits)) & 0x1ffff
+		w := uint32(^cw.uint64(40+(r-4)*lwcWordBits, lwcWordBits)) & 0x1ffff
 		d, err := lwcDecodeWord(w)
 		if err != nil {
 			return 0, err
@@ -114,16 +95,30 @@ func hybridDecodeLane(cw *bitblock.Bits) (uint64, error) {
 }
 
 // Encode implements Codec.
-func (Hybrid) Encode(blk *bitblock.Block) *bitblock.Burst {
+func (c Hybrid) Encode(blk *bitblock.Block) *bitblock.Burst {
 	bu := bitblock.NewBurst(BusWidth, 14)
-	parkDBIPins(bu)
-	for c := 0; c < bitblock.Chips; c++ {
-		cw := hybridEncodeLane(blk.Lane(c))
-		for beat := 0; beat < 14; beat++ {
-			bu.SetBeat(beat, chipDataPin(c, 0), cw.Uint64(beat*8, 8), 8)
-		}
-	}
+	c.EncodeInto(blk, bu)
 	return bu
+}
+
+// EncodeInto implements BurstEncoder.
+func (Hybrid) EncodeInto(blk *bitblock.Block, bu *bitblock.Burst) {
+	bu.Reset(BusWidth, 14)
+	parkDBIPins(bu)
+	var cws [bitblock.Chips]laneCW
+	for c := range cws {
+		cws[c] = hybridEncodeLane(blk.Lane(c))
+	}
+	storeLaneCodewords(bu, &cws, 14, 8)
+}
+
+// CostZeros implements ZeroCoster.
+func (Hybrid) CostZeros(blk *bitblock.Block) int {
+	z := 0
+	for c := 0; c < bitblock.Chips; c++ {
+		z += hybridLaneZeros(blk.Lane(c))
+	}
+	return z
 }
 
 // Decode implements Codec.
@@ -132,12 +127,10 @@ func (Hybrid) Decode(bu *bitblock.Burst) (bitblock.Block, error) {
 	if err := checkDims("hybrid", bu, 14); err != nil {
 		return blk, err
 	}
-	for c := 0; c < bitblock.Chips; c++ {
-		cw := bitblock.NewBits(hybridLaneBits)
-		for beat := 0; beat < 14; beat++ {
-			cw.Append(bu.BeatBits(beat, chipDataPin(c, 0), 8), 8)
-		}
-		lane, err := hybridDecodeLane(cw)
+	var cws [bitblock.Chips]laneCW
+	loadLaneCodewords(bu, &cws, 14, 8)
+	for c := range cws {
+		lane, err := hybridDecodeLane(&cws[c])
 		if err != nil {
 			return blk, fmt.Errorf("code: hybrid chip %d: %w", c, err)
 		}

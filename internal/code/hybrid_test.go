@@ -23,7 +23,8 @@ func TestHybridLaneRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	for n := 0; n < 5000; n++ {
 		lane := rng.Uint64()
-		if got, err := hybridDecodeLane(hybridEncodeLane(lane)); err != nil || got != lane {
+		cw := hybridEncodeLane(lane)
+		if got, err := hybridDecodeLane(&cw); err != nil || got != lane {
 			t.Fatalf("lane %016x decoded to %016x (%v)", lane, got, err)
 		}
 	}
@@ -51,7 +52,7 @@ func TestHybridPadBitsHigh(t *testing.T) {
 	var blk bitblock.Block
 	cw := hybridEncodeLane(blk.Lane(0))
 	for i := hybridLaneBits - 4; i < hybridLaneBits; i++ {
-		if !cw.Get(i) {
+		if !cw.bit(i) {
 			t.Fatalf("pad bit %d low", i)
 		}
 	}

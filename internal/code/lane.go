@@ -1,0 +1,115 @@
+package code
+
+import "mil/internal/bitblock"
+
+// This file is the codecs' shared kernel layer: a fixed-capacity,
+// stack-allocated codeword vector (laneCW) replacing bitblock.Bits on the
+// encode/decode hot paths, and word-parallel beat (de)serialization between
+// the eight per-chip codewords and the 72-pin bus image. See DESIGN.md
+// "Kernel layer".
+
+// laneCWWords bounds the per-chip codeword at 192 bits; the largest lane
+// payload is 3-LWC's 144 bits (16 beats x 9 pins).
+const laneCWWords = 3
+
+// laneCW is a fixed-capacity bit vector holding one chip's codeword. It is
+// a value type so lane encoders build codewords entirely on the stack; bit 0
+// is the first bit appended, matching bitblock.Bits.
+type laneCW struct {
+	w [laneCWWords]uint64
+	n int
+}
+
+// append adds the low nbits (1..64) of v. The vector must have been zeroed
+// (the zero value is), so bits are ORed in place.
+func (l *laneCW) append(v uint64, nbits int) {
+	if nbits < 64 {
+		v &= 1<<nbits - 1
+	}
+	w, s := l.n/64, l.n%64
+	l.w[w] |= v << s
+	if s+nbits > 64 {
+		l.w[w+1] |= v >> (64 - s)
+	}
+	l.n += nbits
+}
+
+// appendBit adds a single bit.
+func (l *laneCW) appendBit(v bool) {
+	if v {
+		l.append(1, 1)
+	} else {
+		l.n++
+	}
+}
+
+// uint64 extracts nbits (1..64) starting at bit offset off.
+func (l *laneCW) uint64(off, nbits int) uint64 {
+	w, s := off/64, off%64
+	v := l.w[w] >> s
+	if s+nbits > 64 {
+		v |= l.w[w+1] << (64 - s)
+	}
+	if nbits < 64 {
+		v &= 1<<nbits - 1
+	}
+	return v
+}
+
+// bit returns bit i.
+func (l *laneCW) bit(i int) bool { return l.w[i/64]>>(i%64)&1 == 1 }
+
+// orBeatBits ORs the low nbits (1..63) of v into a two-word beat image at
+// bit position pos. The image must start zeroed.
+func orBeatBits(lo, hi *uint64, pos int, v uint64, nbits int) {
+	v &= 1<<nbits - 1
+	if pos < 64 {
+		*lo |= v << pos
+		if pos+nbits > 64 {
+			*hi |= v >> (64 - pos)
+		}
+	} else {
+		*hi |= v << (pos - 64)
+	}
+}
+
+// beatBitsOf extracts nbits (1..63) at bit position pos from a two-word beat
+// image, the inverse of orBeatBits.
+func beatBitsOf(lo, hi uint64, pos, nbits int) uint64 {
+	var v uint64
+	if pos < 64 {
+		v = lo >> pos
+		if pos+nbits > 64 {
+			v |= hi << (64 - pos)
+		}
+	} else {
+		v = hi >> (pos - 64)
+	}
+	return v & (1<<nbits - 1)
+}
+
+// storeLaneCodewords serializes the eight per-chip codewords onto the bus
+// burst beat-major: chip c's codeword bits [pinsPer*b, pinsPer*(b+1)) appear
+// on pins [c*PinsPerChip, c*PinsPerChip+pinsPer) during beat b. pinsPer is 8
+// for the data-pin codecs (MiLC, CAFO, Hybrid) and 9 for 3-LWC, which
+// reuses the DBI pin.
+func storeLaneCodewords(bu *bitblock.Burst, cws *[bitblock.Chips]laneCW, beats, pinsPer int) {
+	for beat := 0; beat < beats; beat++ {
+		var lo, hi uint64
+		for c := range cws {
+			orBeatBits(&lo, &hi, c*PinsPerChip, cws[c].uint64(beat*pinsPer, pinsPer), pinsPer)
+		}
+		bu.SetBeatWords(beat, lo, hi)
+	}
+}
+
+// loadLaneCodewords gathers the eight per-chip codewords back out of a
+// burst, the inverse of storeLaneCodewords.
+func loadLaneCodewords(bu *bitblock.Burst, cws *[bitblock.Chips]laneCW, beats, pinsPer int) {
+	for beat := 0; beat < beats; beat++ {
+		lo, hi := bu.BeatWords(beat)
+		for c := range cws {
+			cws[c].append(beatBitsOf(lo, hi, c*PinsPerChip, pinsPer), pinsPer)
+		}
+	}
+}

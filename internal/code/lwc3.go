@@ -69,6 +69,17 @@ func lwcEncodeByte(d byte) uint32 {
 	return uint32(codeBits) | mode<<15
 }
 
+// lwcByteZeros[b] is the number of zeros the transmitted (inverted) 17-bit
+// codeword of byte b carries: the popcount of the pre-inversion word. An
+// init-time constant table, so the cost probe is a single lookup per byte.
+var lwcByteZeros = func() [256]uint8 {
+	var t [256]uint8
+	for b := 0; b < 256; b++ {
+		t[b] = uint8(bits.OnesCount32(lwcEncodeByte(byte(b))))
+	}
+	return t
+}()
+
 // lwcDecodeWord inverts lwcEncodeByte. It reports an error for words that
 // no byte encodes to (weight > 3, mode 0b11, or inconsistent mode/code
 // combinations), which decode uses to surface corrupted bursts in tests.
@@ -111,21 +122,36 @@ func lwcDecodeWord(w uint32) (byte, error) {
 const laneWordBits = 8*lwcWordBits + 8
 
 // Encode implements Codec.
-func (LWC3) Encode(blk *bitblock.Block) *bitblock.Burst {
+func (c LWC3) Encode(blk *bitblock.Block) *bitblock.Burst {
 	bu := bitblock.NewBurst(BusWidth, 16)
-	for c := 0; c < bitblock.Chips; c++ {
-		lane := bitblock.NewBits(laneWordBits)
+	c.EncodeInto(blk, bu)
+	return bu
+}
+
+// EncodeInto implements BurstEncoder.
+func (LWC3) EncodeInto(blk *bitblock.Block, bu *bitblock.Burst) {
+	bu.Reset(BusWidth, 16)
+	var cws [bitblock.Chips]laneCW
+	for c := range cws {
 		for b := 0; b < 8; b++ {
 			w := lwcEncodeByte(blk[b*bitblock.Chips+c])
 			// Transmit the inverted word so at most 3 of 17 bits are 0.
-			lane.Append(uint64(^w)&0x1ffff, lwcWordBits)
+			cws[c].append(uint64(^w)&0x1ffff, lwcWordBits)
 		}
-		lane.Append(0xff, 8) // pad beats high: free on a POD interface
-		for beat := 0; beat < 16; beat++ {
-			bu.SetBeat(beat, c*PinsPerChip, lane.Uint64(beat*PinsPerChip, PinsPerChip), PinsPerChip)
-		}
+		cws[c].append(0xff, 8) // pad beats high: free on a POD interface
 	}
-	return bu
+	storeLaneCodewords(bu, &cws, 16, PinsPerChip)
+}
+
+// CostZeros implements ZeroCoster: each byte's inverted codeword carries
+// lwcByteZeros[b] zeros and the pad bits are high, so the probe is 64 table
+// lookups.
+func (LWC3) CostZeros(blk *bitblock.Block) int {
+	z := 0
+	for _, b := range blk {
+		z += int(lwcByteZeros[b])
+	}
+	return z
 }
 
 // Decode implements Codec. The 3-LWC codeword space is sparse (at most 3
@@ -137,13 +163,11 @@ func (LWC3) Decode(bu *bitblock.Burst) (bitblock.Block, error) {
 	if err := checkDims("lwc3", bu, 16); err != nil {
 		return blk, err
 	}
-	for c := 0; c < bitblock.Chips; c++ {
-		lane := bitblock.NewBits(laneWordBits)
-		for beat := 0; beat < 16; beat++ {
-			lane.Append(bu.BeatBits(beat, c*PinsPerChip, PinsPerChip), PinsPerChip)
-		}
+	var cws [bitblock.Chips]laneCW
+	loadLaneCodewords(bu, &cws, 16, PinsPerChip)
+	for c := range cws {
 		for b := 0; b < 8; b++ {
-			w := uint32(^lane.Uint64(b*lwcWordBits, lwcWordBits)) & 0x1ffff
+			w := uint32(^cws[c].uint64(b*lwcWordBits, lwcWordBits)) & 0x1ffff
 			d, err := lwcDecodeWord(w)
 			if err != nil {
 				// Encode never produces such words: data corruption.

@@ -53,89 +53,120 @@ func boolBitZero(b bool) int {
 // the previous original row. The xor mode bit is transmitted as 1 when the
 // XOR was applied and the invert bit follows the DBI convention (0 =
 // inverted), so the per-candidate cost adds the zeros of the mode bits.
+// Two popcounts cover all four candidates - inverting a wire with z zeros
+// leaves 8-z - and ties resolve in the original candidate order (xor-less
+// first, uninverted first) via strict less-than.
 func encodeMilcRow(cur, prev byte) milcRow {
-	best := milcRow{}
-	bestCost := 1 << 30
-	for _, xor := range []bool{false, true} {
-		for _, invert := range []bool{false, true} {
-			wire := cur
-			if xor {
-				wire ^= prev
-			}
-			if invert {
-				wire = ^wire
-			}
-			invBit := !invert
-			cost := zeros8(wire) + boolBitZero(xor) + boolBitZero(invBit)
-			if cost < bestCost {
-				bestCost = cost
-				best = milcRow{wire: wire, xor: xor, inv: invBit}
-			}
-		}
+	z1 := zeros8(cur)        // candidate (xor=0): mode bits cost 1+0
+	z2 := zeros8(cur ^ prev) // candidate (xor=1): mode bits cost 0+0
+	best := milcRow{wire: cur, inv: true}
+	bestCost := z1 + 1
+	if c := 10 - z1; c < bestCost { // inverted: (8-z1) + 1 + 1
+		best, bestCost = milcRow{wire: ^cur, inv: false}, c
+	}
+	if c := z2; c < bestCost {
+		best, bestCost = milcRow{wire: cur ^ prev, xor: true, inv: true}, c
+	}
+	if c := 9 - z2; c < bestCost { // xor+inverted: (8-z2) + 0 + 1
+		best = milcRow{wire: ^(cur ^ prev), xor: true, inv: false}
 	}
 	return best
 }
 
-// milcEncodeLane maps a 64-bit lane to its 80-bit codeword, returned as a
-// bit vector laid out row-major: row r occupies bits [10r, 10r+10) as
-// [8 data][xor slot][invert bit]. Row 0's xor slot is the xorbi bit.
-func milcEncodeLane(lane uint64) *bitblock.Bits {
-	var rows [8]milcRow
-
-	// Row 0: no predecessor, only the invert choice.
+// milcRows fills rows[0:n] with the greedy per-row encoding of the first n
+// bytes of lane and decides the xor-column bus inversion: row 0 gets the
+// plain invert choice, rows 1..n-1 the four-candidate search, and the
+// column of n-1 XOR mode bits is inverted when it carries at least
+// invThreshold zeros. It returns the inversion decision and the
+// pre-inversion zero count of the xor column; both the full 8-row MiLC code
+// and Hybrid's 4-row group are instances.
+func milcRows(lane uint64, rows *[8]milcRow, n, invThreshold int) (invertColumn bool, xorZeros int) {
 	r0 := byte(lane)
 	if zeros8(r0) > 4 {
 		rows[0] = milcRow{wire: ^r0, inv: false}
 	} else {
 		rows[0] = milcRow{wire: r0, inv: true}
 	}
-	prev := byte(lane)
-	for r := 1; r < 8; r++ {
+	prev := r0
+	for r := 1; r < n; r++ {
 		cur := byte(lane >> (8 * r))
 		rows[r] = encodeMilcRow(cur, prev)
 		prev = cur
 	}
-
-	// xorbi: bus-invert the seven XOR mode bits when they carry too many
-	// zeros. DBI convention: xorbi = 0 means the column was inverted.
-	xorZeros := 0
-	for r := 1; r < 8; r++ {
+	for r := 1; r < n; r++ {
 		xorZeros += boolBitZero(rows[r].xor)
 	}
-	invertColumn := xorZeros >= 5 // invert costs (7-xorZeros)+1, keep costs xorZeros
-	xorbi := !invertColumn
+	return xorZeros >= invThreshold, xorZeros
+}
 
-	out := bitblock.NewBits(80)
-	for r := 0; r < 8; r++ {
-		out.Append(uint64(rows[r].wire), 8)
+// milcSerializeRows lays rows[0:n] out row-major into cw: row r occupies
+// bits [10r, 10r+10) as [8 data][xor slot][invert bit], with row 0's xor
+// slot carrying the xorbi bit (DBI convention: 0 = column inverted).
+func milcSerializeRows(cw *laneCW, rows *[8]milcRow, n int, invertColumn bool) {
+	for r := 0; r < n; r++ {
+		cw.append(uint64(rows[r].wire), 8)
 		if r == 0 {
-			out.AppendBit(xorbi)
+			cw.appendBit(!invertColumn)
 		} else {
 			x := rows[r].xor
 			if invertColumn {
 				x = !x
 			}
-			out.AppendBit(x)
+			cw.appendBit(x)
 		}
-		out.AppendBit(rows[r].inv)
+		cw.appendBit(rows[r].inv)
 	}
-	return out
+}
+
+// milcRowGroupZeros returns the transmitted zero count of rows[0:n] plus
+// their mode bits under the column-inversion decision - the arithmetic
+// equivalent of serializing the group and counting zeros.
+func milcRowGroupZeros(rows *[8]milcRow, n int, invertColumn bool, xorZeros int) int {
+	z := 0
+	for r := 0; r < n; r++ {
+		z += zeros8(rows[r].wire) + boolBitZero(rows[r].inv)
+	}
+	if invertColumn {
+		z += 1 + (n - 1 - xorZeros) // xorbi transmitted 0, column flipped
+	} else {
+		z += xorZeros
+	}
+	return z
+}
+
+// milcEncodeLane maps a 64-bit lane to its 80-bit codeword. Row 0's xor
+// slot is the xorbi bit, which bus-inverts the other seven XOR mode bits
+// when the column carries 5+ zeros (invert costs (7-xorZeros)+1).
+func milcEncodeLane(lane uint64) laneCW {
+	var rows [8]milcRow
+	invertColumn, _ := milcRows(lane, &rows, 8, 5)
+	var cw laneCW
+	milcSerializeRows(&cw, &rows, 8, invertColumn)
+	return cw
+}
+
+// milcLaneZeros is the cost probe: the zero count of milcEncodeLane(lane)
+// without building the codeword.
+func milcLaneZeros(lane uint64) int {
+	var rows [8]milcRow
+	invertColumn, xorZeros := milcRows(lane, &rows, 8, 5)
+	return milcRowGroupZeros(&rows, 8, invertColumn, xorZeros)
 }
 
 // milcDecodeLane inverts milcEncodeLane.
-func milcDecodeLane(cw *bitblock.Bits) uint64 {
-	xorbi := cw.Get(8)
+func milcDecodeLane(cw *laneCW) uint64 {
+	xorbi := cw.bit(8)
 	invertColumn := !xorbi
 	var lane uint64
 	var prev byte
 	for r := 0; r < 8; r++ {
-		wire := byte(cw.Uint64(r*10, 8))
-		invBit := cw.Get(r*10 + 9)
+		wire := byte(cw.uint64(r*10, 8))
+		invBit := cw.bit(r*10 + 9)
 		if !invBit {
 			wire = ^wire
 		}
 		if r > 0 {
-			x := cw.Get(r*10 + 8)
+			x := cw.bit(r*10 + 8)
 			if invertColumn {
 				x = !x
 			}
@@ -150,16 +181,30 @@ func milcDecodeLane(cw *bitblock.Bits) uint64 {
 }
 
 // Encode implements Codec.
-func (MiLC) Encode(blk *bitblock.Block) *bitblock.Burst {
+func (c MiLC) Encode(blk *bitblock.Block) *bitblock.Burst {
 	bu := bitblock.NewBurst(BusWidth, 10)
-	parkDBIPins(bu)
-	for c := 0; c < bitblock.Chips; c++ {
-		cw := milcEncodeLane(blk.Lane(c))
-		for beat := 0; beat < 10; beat++ {
-			bu.SetBeat(beat, chipDataPin(c, 0), cw.Uint64(beat*8, 8), 8)
-		}
-	}
+	c.EncodeInto(blk, bu)
 	return bu
+}
+
+// EncodeInto implements BurstEncoder.
+func (MiLC) EncodeInto(blk *bitblock.Block, bu *bitblock.Burst) {
+	bu.Reset(BusWidth, 10)
+	parkDBIPins(bu)
+	var cws [bitblock.Chips]laneCW
+	for c := range cws {
+		cws[c] = milcEncodeLane(blk.Lane(c))
+	}
+	storeLaneCodewords(bu, &cws, 10, 8)
+}
+
+// CostZeros implements ZeroCoster.
+func (MiLC) CostZeros(blk *bitblock.Block) int {
+	z := 0
+	for c := 0; c < bitblock.Chips; c++ {
+		z += milcLaneZeros(blk.Lane(c))
+	}
+	return z
 }
 
 // Decode implements Codec. MiLC's 80-bit codeword space is dense (every
@@ -170,12 +215,10 @@ func (MiLC) Decode(bu *bitblock.Burst) (bitblock.Block, error) {
 	if err := checkDims("milc", bu, 10); err != nil {
 		return blk, err
 	}
-	for c := 0; c < bitblock.Chips; c++ {
-		cw := bitblock.NewBits(80)
-		for beat := 0; beat < 10; beat++ {
-			cw.Append(bu.BeatBits(beat, chipDataPin(c, 0), 8), 8)
-		}
-		blk.SetLane(c, milcDecodeLane(cw))
+	var cws [bitblock.Chips]laneCW
+	loadLaneCodewords(bu, &cws, 10, 8)
+	for c := range cws {
+		blk.SetLane(c, milcDecodeLane(&cws[c]))
 	}
 	return blk, nil
 }

@@ -8,6 +8,7 @@ import "testing"
 // micro-benchmarks) into BENCH_sweep.json for trajectory tracking. On a
 // multi-core host the parallel variant should approach min(workers, cores)x.
 func benchmarkSweep(b *testing.B, workers int) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := NewRunner(goldenOps)
 		r.Suite = goldenSuite()

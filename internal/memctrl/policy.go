@@ -155,11 +155,17 @@ type PODPhy struct {
 	// integration tests to prove the data path end to end.
 	Verify bool
 	Link   LinkConfig
+	// scratch absorbs the per-transfer burst allocation: phys are
+	// per-channel and not safe for concurrent use (see Phy), so one
+	// reusable burst serves every Transmit. Nothing retains the burst past
+	// the call - transmitCommon reads/corrupts it in place and the results
+	// carried out of Transmit are plain values.
+	scratch bitblock.Burst
 }
 
 // Transmit implements Phy.
 func (p *PODPhy) Transmit(c code.Codec, blk *bitblock.Block, write bool) PhyResult {
-	bu := c.Encode(blk)
+	bu := code.EncodeInto(c, blk, &p.scratch)
 	if p.Verify {
 		got, err := c.Decode(bu)
 		if err != nil || got != *blk {
@@ -184,11 +190,12 @@ type TransitionPhy struct {
 	Link    LinkConfig
 	txState bitblock.BusState
 	rxState bitblock.BusState
+	scratch bitblock.Burst // see PODPhy.scratch
 }
 
 // Transmit implements Phy.
 func (p *TransitionPhy) Transmit(c code.Codec, blk *bitblock.Block, write bool) PhyResult {
-	bu := c.Encode(blk)
+	bu := code.EncodeInto(c, blk, &p.scratch)
 	z := bu.CountZeros()
 	if !p.Link.Inject.Enabled() {
 		if p.Verify {

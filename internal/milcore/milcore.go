@@ -105,10 +105,12 @@ func (p *Policy) Choose(write bool, data *bitblock.Block, la memctrl.Lookahead) 
 		return p.base
 	}
 	if write && p.writeOptimize && data != nil {
-		// Section 4.6: the controller holds the write data, so it encodes
-		// with both schemes ahead of time and picks the sparser result.
-		// The shorter base burst wins ties.
-		if p.base.Encode(data).CountZeros() <= p.wide.Encode(data).CountZeros() {
+		// Section 4.6: the controller holds the write data, so it compares
+		// the schemes' zero counts ahead of time and picks the sparser
+		// result. The shorter base burst wins ties. The comparison runs on
+		// the codecs' arithmetic cost probes (code.ZeroCoster) - no burst is
+		// materialized for the loser.
+		if code.CostZeros(p.base, data) <= code.CostZeros(p.wide, data) {
 			return p.base
 		}
 	}
@@ -158,13 +160,14 @@ func (p *Tiered) Choose(write bool, data *bitblock.Block, la memctrl.Lookahead) 
 	}
 	if write && data != nil {
 		// The write optimization generalizes: among the codes no longer
-		// than the chosen one, transmit the sparsest encoding.
-		best, bestZ := chosen, chosen.Encode(data).CountZeros()
+		// than the chosen one, transmit the sparsest encoding. Candidates
+		// are compared by cost probe, so only the winner ever encodes.
+		best, bestZ := chosen, code.CostZeros(chosen, data)
 		for _, c := range p.codes {
 			if c.Beats() > chosen.Beats() || c == chosen {
 				continue
 			}
-			if z := c.Encode(data).CountZeros(); z < bestZ {
+			if z := code.CostZeros(c, data); z < bestZ {
 				best, bestZ = c, z
 			}
 		}
@@ -201,27 +204,33 @@ func (s Stretched) ExtraLatency() int { return s.Inner.ExtraLatency() }
 
 // Encode implements code.Codec.
 func (s Stretched) Encode(blk *bitblock.Block) *bitblock.Burst {
-	inner := s.Inner.Encode(blk)
-	if inner.Beats == s.Total {
-		return inner
-	}
-	out := bitblock.NewBurst(inner.Width, s.Total)
-	for p := 0; p < inner.Width; p++ {
-		out.SetDriven(p, inner.Driven(p))
-	}
-	for b := 0; b < s.Total; b++ {
-		for p := 0; p < inner.Width; p++ {
-			if !inner.Driven(p) {
-				continue
-			}
-			v := true // pad beats idle high: free on a POD interface
-			if b < inner.Beats {
-				v = inner.Bit(b, p)
-			}
-			out.SetBit(b, p, v)
+	bu := s.Inner.Encode(blk)
+	bu.ExtendBeats(s.Total)
+	return bu
+}
+
+// EncodeInto implements code.BurstEncoder: the inner encode lands in bu and
+// the pad beats (driven pins idle high, free on a POD interface) are
+// appended in place.
+func (s Stretched) EncodeInto(blk *bitblock.Block, bu *bitblock.Burst) {
+	if got := code.EncodeInto(s.Inner, blk, bu); got != bu {
+		// Inner codec without a scratch path: copy its burst into bu.
+		bu.Reset(got.Width, got.Beats)
+		for p := 0; p < got.Width; p++ {
+			bu.SetDriven(p, got.Driven(p))
+		}
+		for b := 0; b < got.Beats; b++ {
+			lo, hi := got.BeatWords(b)
+			bu.SetBeatWords(b, lo, hi)
 		}
 	}
-	return out
+	bu.ExtendBeats(s.Total)
+}
+
+// CostZeros implements code.ZeroCoster: pad beats drive every driven pin
+// high, so the stretch adds no zeros over the inner code.
+func (s Stretched) CostZeros(blk *bitblock.Block) int {
+	return code.CostZeros(s.Inner, blk)
 }
 
 // Decode implements code.Codec.

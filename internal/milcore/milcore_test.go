@@ -255,3 +255,38 @@ func TestMiLEndToEndUsesBothCodes(t *testing.T) {
 		t.Fatalf("base code never chosen: %v", s.CodecBursts)
 	}
 }
+
+// TestStretchedKernelEquivalence extends the codec kernel contracts to the
+// Stretched wrapper: the cost probe must equal encode-then-count and the
+// scratch path must be bit-identical to the allocating one, for both a
+// scratch-capable inner codec (MiLC) and the pad beats it appends.
+func TestStretchedKernelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, total := range []int{12, 14, 16} {
+		s, err := NewStretched(code.MiLC{}, total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var scratch bitblock.Burst
+		for n := 0; n < 500; n++ {
+			var raw [64]byte
+			rng.Read(raw[:])
+			blk := bitblock.Block(raw)
+			want := s.Encode(&blk)
+			if probe := code.CostZeros(s, &blk); probe != want.CountZeros() {
+				t.Fatalf("%s: CostZeros=%d, Encode.CountZeros=%d", s.Name(), probe, want.CountZeros())
+			}
+			got := code.EncodeInto(s, &blk, &scratch)
+			if got.Width != want.Width || got.Beats != want.Beats {
+				t.Fatalf("%s: dims %dx%d, want %dx%d", s.Name(), got.Width, got.Beats, want.Width, want.Beats)
+			}
+			for b := 0; b < got.Beats; b++ {
+				gl, gh := got.BeatWords(b)
+				wl, wh := want.BeatWords(b)
+				if gl != wl || gh != wh {
+					t.Fatalf("%s beat %d differs", s.Name(), b)
+				}
+			}
+		}
+	}
+}
