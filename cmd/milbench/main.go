@@ -47,6 +47,8 @@ type prevReport struct {
 	Generated       string       `json:"generated"`
 	SerialSeconds   float64      `json:"serial_seconds"`
 	ParallelSeconds float64      `json:"parallel_seconds"`
+	EventsFired     int64        `json:"events_fired,omitempty"`
+	CyclesSkipped   int64        `json:"cycles_skipped,omitempty"`
 	Codecs          []codecTimes `json:"codecs"`
 }
 
@@ -59,6 +61,11 @@ type sweepReport struct {
 	SerialSeconds   float64  `json:"serial_seconds"`
 	ParallelSeconds float64  `json:"parallel_seconds"`
 	Speedup         float64  `json:"speedup"`
+	// Event-core counters summed over the serial leg's simulations: CPU
+	// cycles the main loop actually fired versus cycles proven no-ops and
+	// skipped. skipped/(fired+skipped) is the work the event core avoids.
+	EventsFired   int64 `json:"events_fired"`
+	CyclesSkipped int64 `json:"cycles_skipped"`
 }
 
 type codecTimes struct {
@@ -97,11 +104,11 @@ func main() {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 
-	serial, _, err := timeSweep(*ops, names, 1)
+	serial, _, fired, skipped, err := timeSweep(*ops, names, 1)
 	if err != nil {
 		fatal(err)
 	}
-	parallel, sims, err := timeSweep(*ops, names, *workers)
+	parallel, sims, _, _, err := timeSweep(*ops, names, *workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -114,9 +121,13 @@ func main() {
 		SerialSeconds:   serial.Seconds(),
 		ParallelSeconds: parallel.Seconds(),
 		Speedup:         serial.Seconds() / parallel.Seconds(),
+		EventsFired:     fired,
+		CyclesSkipped:   skipped,
 	}
 	fmt.Fprintf(os.Stderr, "milbench: sweep %d sims, serial %.2fs, -j %d %.2fs (%.2fx)\n",
 		sims, serial.Seconds(), *workers, parallel.Seconds(), rep.Sweep.Speedup)
+	fmt.Fprintf(os.Stderr, "milbench: event core fired %d cycles, skipped %d (%.1f%% of the timeline)\n",
+		fired, skipped, 100*float64(skipped)/float64(fired+skipped))
 
 	for _, name := range code.Names() {
 		ct, err := timeCodec(name, *iters)
@@ -149,23 +160,25 @@ func main() {
 }
 
 // timeSweep renders every experiment table from a cold cache and returns the
-// wall-clock time and the number of distinct simulations executed.
-func timeSweep(ops int64, suite []string, workers int) (time.Duration, int64, error) {
+// wall-clock time, the number of distinct simulations executed, and the
+// summed event-core loop counters.
+func timeSweep(ops int64, suite []string, workers int) (time.Duration, int64, int64, int64, error) {
 	r := experiments.NewRunner(ops)
 	r.Suite = suite
 	r.Workers = workers
 	start := time.Now()
 	tables, err := r.All()
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, 0, err
 	}
 	elapsed := time.Since(start)
 	if len(tables) != len(experiments.Generators()) {
-		return 0, 0, fmt.Errorf("sweep produced %d tables, want %d",
+		return 0, 0, 0, 0, fmt.Errorf("sweep produced %d tables, want %d",
 			len(tables), len(experiments.Generators()))
 	}
 	runs, _ := r.Stats()
-	return elapsed, runs, nil
+	fired, skipped := r.LoopTotals()
+	return elapsed, runs, fired, skipped, nil
 }
 
 // timeCodec measures one codec's encode and decode over random cache lines
@@ -238,6 +251,8 @@ func loadPrevious(path string) *prevReport {
 		Generated:       old.Generated,
 		SerialSeconds:   old.Sweep.SerialSeconds,
 		ParallelSeconds: old.Sweep.ParallelSeconds,
+		EventsFired:     old.Sweep.EventsFired,
+		CyclesSkipped:   old.Sweep.CyclesSkipped,
 		Codecs:          old.Codecs,
 	}
 }

@@ -10,7 +10,9 @@
 // With -bench all the suite runs on a worker pool -j wide (default
 // GOMAXPROCS); reports print in suite order regardless of -j, and -progress
 // streams per-run completion lines on stderr. -trace forces -j 1 so the
-// command trace stays a single uninterleaved stream.
+// command trace stays a single uninterleaved stream. -steplock selects the
+// per-cycle reference loop; results are byte-identical to the default
+// event-driven core, just slower (it exists for differential debugging).
 package main
 
 import (
@@ -52,6 +54,7 @@ func main() {
 		caparity = flag.Bool("caparity", false, "enable DDR4 command/address parity (server only)")
 		retries  = flag.Int("retries", 0, "replay budget per request (0 = default 8)")
 		seed     = flag.Uint64("seed", 0, "run seed for streams and fault injection (0 = legacy streams)")
+		steplock = flag.Bool("steplock", false, "use the per-cycle reference loop instead of the event core")
 		workers  = flag.Int("j", 0, "runs in flight for -bench all (0 = GOMAXPROCS)")
 		progress = flag.Bool("progress", false, "stream per-run completion lines on stderr")
 
@@ -144,8 +147,9 @@ func main() {
 				MemOpsPerThread: *ops, LookaheadX: *x, Verify: *verify,
 				PowerDown: *pd, Trace: traceW,
 				Fault: fc, WriteCRC: *writecrc, CAParity: *caparity,
-				Retry: memctrl.RetryConfig{MaxRetries: *retries},
-				Seed:  *seed,
+				Retry:    memctrl.RetryConfig{MaxRetries: *retries},
+				Seed:     *seed,
+				Steplock: *steplock,
 			})
 			results[i] = outcome{res, err}
 			if *progress {

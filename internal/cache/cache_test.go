@@ -148,14 +148,14 @@ func TestPrefetcherDisabled(t *testing.T) {
 type fakePort struct {
 	reads    []int64
 	writes   []int64
-	pending  map[int64]func()
+	pending  map[int64]func(int64)
 	rejectRd bool
 	rejectWr bool
 }
 
-func newFakePort() *fakePort { return &fakePort{pending: map[int64]func(){}} }
+func newFakePort() *fakePort { return &fakePort{pending: map[int64]func(int64){}} }
 
-func (p *fakePort) ReadLine(line int64, demand bool, stream int, done func()) bool {
+func (p *fakePort) ReadLine(line int64, demand bool, stream int, done func(int64)) bool {
 	if p.rejectRd {
 		return false
 	}
@@ -177,7 +177,7 @@ func (p *fakePort) Promote(line int64) {}
 func (p *fakePort) complete(line int64) {
 	done := p.pending[line]
 	delete(p.pending, line)
-	done()
+	done(line)
 }
 
 func smallConfig() Config {

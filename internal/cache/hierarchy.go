@@ -1,6 +1,10 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"mil/internal/sched"
+)
 
 // Config describes the two-level hierarchy of Table 2.
 type Config struct {
@@ -43,11 +47,13 @@ func MobileConfig() Config {
 
 // MemPort is the hierarchy's view of the memory system. ReadLine/WriteLine
 // return false when the controller queue is full; the hierarchy retries on
-// Tick. done is invoked when the read's data has arrived. Promote upgrades
-// an in-flight prefetch read to demand priority (a core is now blocked on
+// Tick. done is invoked with the line address when the read's data has
+// arrived, so callers can pass one long-lived callback instead of
+// allocating a capturing closure per (re)issue. Promote upgrades an
+// in-flight prefetch read to demand priority (a core is now blocked on
 // it); it is a no-op for lines that are not in flight.
 type MemPort interface {
-	ReadLine(line int64, demand bool, stream int, done func()) bool
+	ReadLine(line int64, demand bool, stream int, done func(line int64)) bool
 	WriteLine(line int64, stream int) bool
 	Promote(line int64)
 }
@@ -106,6 +112,14 @@ type Hierarchy struct {
 	retryQ  []int64 // unissued fills, in allocation order (determinism)
 	wbQueue []int64 // writebacks awaiting port acceptance
 	pf      *Prefetcher
+	fillFn  func(int64) // h.fill bound once, reused by every ReadLine
+
+	// acted records whether the last Tick changed any state (drained a
+	// writeback, issued a retry, or dropped a stale entry). A Tick that
+	// only collected rejections leaves the hierarchy in a fixed point:
+	// with the memory port's state frozen, every later Tick would be the
+	// identical no-op, so the event core need not wake for it.
+	acted bool
 
 	stats Stats
 }
@@ -127,6 +141,7 @@ func NewHierarchy(cfg Config, port MemPort) (*Hierarchy, error) {
 		mshr:    make(map[int64]*mshrEntry),
 		pf:      NewPrefetcher(cfg.Prefetch),
 	}
+	h.fillFn = h.fill // bound once; every ReadLine shares it
 	for i := 0; i < cfg.Cores; i++ {
 		l1, err := NewArray(cfg.L1Size, cfg.LineBytes, cfg.L1Ways)
 		if err != nil {
@@ -227,7 +242,7 @@ func (h *Hierarchy) Access(core int, addr int64, write bool, done func()) (Acces
 	}
 	e := &mshrEntry{demand: true, stream: core, waiters: []waiter{{core: core, write: write, done: done}}}
 	h.mshr[line] = e
-	e.issued = h.port.ReadLine(line, true, core, func() { h.fill(line) })
+	e.issued = h.port.ReadLine(line, true, core, h.fillFn)
 	if entry, ok := h.mshr[line]; ok && !entry.issued {
 		h.retryQ = append(h.retryQ, line)
 	}
@@ -257,7 +272,7 @@ func (h *Hierarchy) issuePrefetch(line int64, stream int) {
 	}
 	e := &mshrEntry{demand: false, stream: stream}
 	h.mshr[line] = e
-	e.issued = h.port.ReadLine(line, false, stream, func() { h.fill(line) })
+	e.issued = h.port.ReadLine(line, false, stream, h.fillFn)
 	if entry, ok := h.mshr[line]; ok && !entry.issued {
 		h.retryQ = append(h.retryQ, line)
 	}
@@ -265,6 +280,7 @@ func (h *Hierarchy) issuePrefetch(line int64, stream int) {
 
 // Tick retries work the memory port previously rejected.
 func (h *Hierarchy) Tick() {
+	h.acted = false
 	// Writebacks first: draining them in order preserves the same-line
 	// ordering the cancelPendingWriteback fast path relies on.
 	kept := h.wbQueue[:0]
@@ -273,6 +289,7 @@ func (h *Hierarchy) Tick() {
 			kept = append(kept, h.wbQueue[i:]...)
 			break
 		}
+		h.acted = true
 	}
 	h.wbQueue = kept
 	// Retry unissued fills in allocation order; map iteration would make
@@ -283,21 +300,42 @@ func (h *Hierarchy) Tick() {
 	for qi, ln := range h.retryQ {
 		e, ok := h.mshr[ln]
 		if !ok || e.issued {
+			h.acted = true // stale entry dropped from the queue
 			continue
 		}
 		if rejections >= 4 {
 			keptR = append(keptR, h.retryQ[qi:]...)
 			break
 		}
-		ln := ln
-		e.issued = h.port.ReadLine(ln, e.demand, e.stream, func() { h.fill(ln) })
+		e.issued = h.port.ReadLine(ln, e.demand, e.stream, h.fillFn)
 		if e.issued {
+			h.acted = true
 			continue
 		}
 		rejections++
 		keptR = append(keptR, ln)
 	}
 	h.retryQ = keptR
+}
+
+// NextWake returns a lower bound on the next CPU cycle at which Tick can
+// do anything, under the internal/sched contract: now+1 while anything
+// is still queued (or the last Tick made progress), Never once the
+// queues are empty - any change after that comes from fills or new
+// accesses, which occur on cycles the event loop already lands on.
+//
+// Queued-but-rejected work must keep the hierarchy ticking every cycle
+// even though each retry looks like a fixed point: the port's acceptance
+// can change behind its back within the same landed cycle - the
+// processor runs after the hierarchy and may promote a queued prefetch
+// to demand, freeing the controller's prefetch-share admission cap - so
+// the steplock loop's retry would succeed one cycle later, on a cycle no
+// other wake term lands on.
+func (h *Hierarchy) NextWake(now int64) int64 {
+	if h.acted || len(h.wbQueue) > 0 || len(h.retryQ) > 0 {
+		return now + 1
+	}
+	return sched.Never
 }
 
 // fill handles a line arriving from memory.

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"mil/internal/cache"
+	"mil/internal/sched"
 )
 
 // OpKind classifies stream operations.
@@ -99,6 +100,7 @@ type Processor struct {
 	hier    *cache.Hierarchy
 	threads []*thread
 	now     int64
+	ticked  int64 // last cycle presented to Tick (-1 before the first)
 
 	Retired   int64 // instructions completed (all threads)
 	LoadOps   int64
@@ -118,7 +120,7 @@ func NewProcessor(cfg Config, hier *cache.Hierarchy, streams []Stream) (*Process
 	if len(streams) != cfg.Threads() {
 		return nil, fmt.Errorf("cpu: %d streams for %d threads", len(streams), cfg.Threads())
 	}
-	p := &Processor{cfg: cfg, hier: hier}
+	p := &Processor{cfg: cfg, hier: hier, ticked: -1}
 	for i, s := range streams {
 		p.threads = append(p.threads, &thread{core: i / cfg.ThreadsPerCore, stream: s})
 	}
@@ -144,9 +146,44 @@ func (p *Processor) FinishTimes() []int64 {
 	return out
 }
 
+// NextWake returns a lower bound on the next CPU cycle at which a thread
+// can step (the internal/sched contract): the earliest readyAt over
+// runnable threads. Blocked threads wake via cache fills, which happen on
+// cycles the event loop lands on anyway; finished threads never wake.
+func (p *Processor) NextWake(now int64) int64 {
+	w := sched.Never
+	for _, t := range p.threads {
+		if t.finished || t.blocked {
+			continue
+		}
+		if t.readyAt <= now {
+			return now + 1
+		}
+		w = min(w, t.readyAt)
+	}
+	return w
+}
+
+// SkipTo charges the stall cycles the skipped window (ticked, now) would
+// have accumulated: one per blocked unfinished thread per skipped cycle.
+// It must run before the cycle's fills unblock threads - in the per-cycle
+// loop those threads were still blocked throughout the window.
+func (p *Processor) SkipTo(now int64) {
+	n := now - p.ticked - 1
+	if n <= 0 {
+		return
+	}
+	for _, t := range p.threads {
+		if !t.finished && t.blocked {
+			p.StallTics += n
+		}
+	}
+}
+
 // Tick advances every thread one CPU cycle.
 func (p *Processor) Tick(now int64) {
 	p.now = now
+	p.ticked = now
 	for _, t := range p.threads {
 		if t.finished {
 			continue

@@ -23,13 +23,13 @@ func (s *listStream) Next() (Op, bool) {
 
 // ctrlPort is a MemPort whose completions the test triggers manually.
 type ctrlPort struct {
-	pending map[int64]func()
+	pending map[int64]func(int64)
 	reads   int
 }
 
-func newCtrlPort() *ctrlPort { return &ctrlPort{pending: map[int64]func(){}} }
+func newCtrlPort() *ctrlPort { return &ctrlPort{pending: map[int64]func(int64){}} }
 
-func (p *ctrlPort) ReadLine(line int64, demand bool, stream int, done func()) bool {
+func (p *ctrlPort) ReadLine(line int64, demand bool, stream int, done func(int64)) bool {
 	p.reads++
 	p.pending[line] = done
 	return true
@@ -39,7 +39,7 @@ func (p *ctrlPort) Promote(line int64)                    {}
 func (p *ctrlPort) complete(line int64) {
 	done := p.pending[line]
 	delete(p.pending, line)
-	done()
+	done(line)
 }
 
 func smallHier(t *testing.T, port cache.MemPort, cores int) *cache.Hierarchy {

@@ -145,26 +145,26 @@ func (ch *Channel) EarliestIssue(cmd Command, now int64) int64 {
 	bank := &ch.banks[cmd.Rank][cmd.Group][cmd.Bank]
 	group := &ch.groups[cmd.Rank][cmd.Group]
 	rank := &ch.ranks[cmd.Rank]
-	t := max64(now, rank.refBusyUntil)
+	t := max(now, rank.refBusyUntil)
 
 	switch cmd.Kind {
 	case ACT:
 		if bank.open {
 			panic(fmt.Sprintf("dram: ACT to open bank %v", cmd))
 		}
-		t = max64(t, bank.nextACT, group.nextACT, rank.nextACT)
-		t = max64(t, rank.faw[rank.fawIdx]+int64(ch.cfg.Timing.FAW))
+		t = max(t, bank.nextACT, group.nextACT, rank.nextACT)
+		t = max(t, rank.faw[rank.fawIdx]+int64(ch.cfg.Timing.FAW))
 	case PRE:
-		t = max64(t, bank.nextPRE)
+		t = max(t, bank.nextPRE)
 	case RD, WR:
 		if !bank.open || bank.row != cmd.Row {
 			panic(fmt.Sprintf("dram: %v to bank with row %d open=%v", cmd, bank.row, bank.open))
 		}
-		t = max64(t, bank.nextCAS)
+		t = max(t, bank.nextCAS)
 		if cmd.Kind == RD {
-			t = max64(t, group.nextRD, rank.nextRD)
+			t = max(t, group.nextRD, rank.nextRD)
 		} else {
-			t = max64(t, group.nextWR, rank.nextWR)
+			t = max(t, group.nextWR, rank.nextWR)
 		}
 		// Data-bus availability plus turnaround bubble.
 		lat := ch.columnLatency(cmd)
@@ -179,7 +179,7 @@ func (ch *Channel) EarliestIssue(cmd Command, now int64) int64 {
 				if bs.open {
 					panic(fmt.Sprintf("dram: REF r%d with bank g%d b%d open", cmd.Rank, bg, b))
 				}
-				t = max64(t, bs.nextACT) // tRP from the closing precharge
+				t = max(t, bs.nextACT) // tRP from the closing precharge
 			}
 		}
 	default:
@@ -218,17 +218,17 @@ func (ch *Channel) Issue(cmd Command, t int64) BurstInfo {
 	case ACT:
 		bank.open = true
 		bank.row = cmd.Row
-		bank.nextCAS = max64(bank.nextCAS, t+int64(tm.RCD))
-		bank.nextPRE = max64(bank.nextPRE, t+int64(tm.RAS))
-		bank.nextACT = max64(bank.nextACT, t+int64(tm.RC))
-		group.nextACT = max64(group.nextACT, t+int64(tm.RRDL))
-		rank.nextACT = max64(rank.nextACT, t+int64(tm.RRDS))
+		bank.nextCAS = max(bank.nextCAS, t+int64(tm.RCD))
+		bank.nextPRE = max(bank.nextPRE, t+int64(tm.RAS))
+		bank.nextACT = max(bank.nextACT, t+int64(tm.RC))
+		group.nextACT = max(group.nextACT, t+int64(tm.RRDL))
+		rank.nextACT = max(rank.nextACT, t+int64(tm.RRDS))
 		rank.faw[rank.fawIdx] = t
 		rank.fawIdx = (rank.fawIdx + 1) % len(rank.faw)
 
 	case PRE:
 		bank.open = false
-		bank.nextACT = max64(bank.nextACT, t+int64(tm.RP))
+		bank.nextACT = max(bank.nextACT, t+int64(tm.RP))
 
 	case RD, WR:
 		if cmd.Beats < 2 || cmd.Beats%2 != 0 {
@@ -243,17 +243,17 @@ func (ch *Channel) Issue(cmd Command, t int64) BurstInfo {
 		info.Window = BurstWindow{Start: start, End: end}
 
 		if cmd.Kind == RD {
-			bank.nextPRE = max64(bank.nextPRE, t+int64(tm.RTP))
+			bank.nextPRE = max(bank.nextPRE, t+int64(tm.RTP))
 		} else {
-			bank.nextPRE = max64(bank.nextPRE, end+int64(tm.WR))
+			bank.nextPRE = max(bank.nextPRE, end+int64(tm.WR))
 			// tWTR: end of write data to any read command in the rank.
-			group.nextRD = max64(group.nextRD, end+int64(tm.WTRL))
-			rank.nextRD = max64(rank.nextRD, end+int64(tm.WTRS))
+			group.nextRD = max(group.nextRD, end+int64(tm.WTRL))
+			rank.nextRD = max(rank.nextRD, end+int64(tm.WTRS))
 		}
-		group.nextRD = max64(group.nextRD, t+int64(tm.CCDL))
-		group.nextWR = max64(group.nextWR, t+int64(tm.CCDL))
-		rank.nextRD = max64(rank.nextRD, t+int64(tm.CCDS))
-		rank.nextWR = max64(rank.nextWR, t+int64(tm.CCDS))
+		group.nextRD = max(group.nextRD, t+int64(tm.CCDL))
+		group.nextWR = max(group.nextWR, t+int64(tm.CCDL))
+		rank.nextRD = max(rank.nextRD, t+int64(tm.CCDS))
+		rank.nextWR = max(rank.nextWR, t+int64(tm.CCDS))
 
 		ch.busBusyUntil = end
 		ch.last = lastBurst{valid: true, end: end, rank: cmd.Rank, group: cmd.Group, write: cmd.Kind == WR}
@@ -265,15 +265,4 @@ func (ch *Channel) Issue(cmd Command, t int64) BurstInfo {
 		panic(fmt.Sprintf("dram: unknown command kind %v", cmd.Kind))
 	}
 	return info
-}
-
-// max64 returns the maximum of its arguments.
-func max64(vs ...int64) int64 {
-	m := vs[0]
-	for _, v := range vs[1:] {
-		if v > m {
-			m = v
-		}
-	}
-	return m
 }

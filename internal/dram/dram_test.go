@@ -191,7 +191,7 @@ func TestWriteRecoveryDelaysPrecharge(t *testing.T) {
 	tm := ch.cfg.Timing
 	ch.Issue(act(0, 0, 0, 1), 0)
 	info := ch.Issue(wr(0, 0, 0, 1, 8), 100)
-	want := max64(info.Window.End+int64(tm.WR), int64(tm.RAS))
+	want := max(info.Window.End+int64(tm.WR), int64(tm.RAS))
 	if got := ch.EarliestIssue(pre(0, 0, 0), 0); got != want {
 		t.Fatalf("earliest PRE = %d, want %d", got, want)
 	}
@@ -214,7 +214,7 @@ func TestPrechargeToActHonorsRP(t *testing.T) {
 	ch.Issue(act(0, 0, 0, 1), 0)
 	preAt := int64(tm.RAS)
 	ch.Issue(pre(0, 0, 0), preAt)
-	want := max64(preAt+int64(tm.RP), int64(tm.RC))
+	want := max(preAt+int64(tm.RP), int64(tm.RC))
 	if got := ch.EarliestIssue(act(0, 0, 0, 2), 0); got != want {
 		t.Fatalf("earliest re-ACT = %d, want %d", got, want)
 	}

@@ -39,6 +39,7 @@ func Generators() []Generator {
 		{"Extension 3", func(r *Runner) (*Table, error) { return r.Extension3() }},
 		{"Extension 4", func(r *Runner) (*Table, error) { return r.Extension4() }},
 		{"Extension 5", func(r *Runner) (*Table, error) { return r.FaultSweep() }},
+		{"Extension 6", func(r *Runner) (*Table, error) { return r.Extension6() }},
 	}
 }
 

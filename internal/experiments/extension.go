@@ -188,3 +188,51 @@ func (r *Runner) Extension2() (*Table, error) {
 	}
 	return t, nil
 }
+
+// Extension6 pins the idle-heavy regime the event-driven core is built
+// for: the suite's least bus-bound benchmark under rank power-down, where
+// most of the timeline is empty-queue idling between refreshes and
+// power-down residency dominates. Its cells are a subset of Extension 3's
+// cross product, so the runner cache makes the table nearly free; the
+// value is the golden snapshot, which would catch any skip-window
+// accounting drift (ticks, idle classification, power-down residency,
+// refresh count) the end-to-end ratios of Extension 3 could average away.
+func (r *Runner) Extension6() (*Table, error) {
+	var specs []Spec
+	for _, n := range r.names() {
+		specs = append(specs, Spec{System: sim.Server, Scheme: "baseline", Bench: n})
+	}
+	r.Prefetch(specs...)
+	names, err := r.suiteSorted(sim.Server)
+	if err != nil {
+		return nil, err
+	}
+	idlest := names[0] // lowest bus utilization = most skippable timeline
+	t := &Table{
+		ID:    "Extension 6",
+		Title: fmt.Sprintf("Idle-heavy power-down cell (%s, DDR4): skip-window accounting", idlest),
+		Note: "Per-cycle bookkeeping the event core must reproduce in bulk: " +
+			"total DRAM ticks, the Figure 5 idle split, power-down rank-cycle " +
+			"residency, wake-ups, and refreshes. Byte-drift here means a " +
+			"skip-window accounting bug even when energy ratios still agree.",
+		Header: []string{"scheme", "ticks", "bus util", "idle-empty",
+			"PD rank-cycles", "wake-ups", "refreshes"},
+	}
+	for _, scheme := range []string{"baseline", "mil"} {
+		res, err := r.getPD(sim.Server, scheme, idlest, 0, true)
+		if err != nil {
+			return nil, err
+		}
+		m := res.Mem
+		t.Rows = append(t.Rows, []string{
+			scheme,
+			fmt.Sprintf("%d", m.Ticks),
+			pct(res.BusUtilization()),
+			pct(float64(m.IdleEmptyCycles) / float64(m.Ticks)),
+			fmt.Sprintf("%d", m.PowerDownCycles),
+			fmt.Sprintf("%d", m.PowerDownExits),
+			fmt.Sprintf("%d", m.Refreshes),
+		})
+	}
+	return t, nil
+}

@@ -130,6 +130,9 @@ type Runner struct {
 	launched atomic.Int64
 	finished atomic.Int64
 	simNanos atomic.Int64
+
+	eventsFired   atomic.Int64
+	cyclesSkipped atomic.Int64
 }
 
 // inflight is one cache entry: done closes when res/err are final, so
@@ -152,6 +155,13 @@ func NewRunner(memOps int64) *Runner {
 // single-threaded wall-clock cost (the serial-equivalent time).
 func (r *Runner) Stats() (runs int64, simTime time.Duration) {
 	return r.finished.Load(), time.Duration(r.simNanos.Load())
+}
+
+// LoopTotals reports the event-core counters summed over every fresh
+// simulation: cycles actually fired versus cycles proven no-ops and
+// skipped. The ratio is the work the event-driven core avoids.
+func (r *Runner) LoopTotals() (eventsFired, cyclesSkipped int64) {
+	return r.eventsFired.Load(), r.cyclesSkipped.Load()
 }
 
 // workers returns the effective pool width.
@@ -249,6 +259,10 @@ func (r *Runner) result(cfg sim.Config, label string) (*sim.Result, error) {
 
 	r.finished.Add(1)
 	r.simNanos.Add(int64(elapsed))
+	if e.res != nil {
+		r.eventsFired.Add(e.res.Loop.EventsFired)
+		r.cyclesSkipped.Add(e.res.Loop.CyclesSkipped)
+	}
 	if r.Progress != nil {
 		r.mu.Lock()
 		fmt.Fprintf(r.Progress, "run %d: %s ops=%d seed=%d (%.0fms)\n",

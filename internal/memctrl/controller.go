@@ -165,11 +165,16 @@ type Controller struct {
 	deferred    []inflightRead     // forwarded/coalesced completions, fired on a later tick
 	activeBurst []dram.BurstWindow // windows not yet past, for busy classification
 
-	stats    *Stats
-	now      int64
-	started  bool
-	banksTmp map[int]bool // scratch per-tick per-bank visited set
-	id       int          // channel index, for trace output
+	stats     *Stats
+	now       int64
+	started   bool
+	acted     bool    // last Tick did observable work (event-core fast path)
+	idleRun   int     // consecutive no-op Ticks since the last acting one
+	wake      int64   // memoized NextWake scan result ...
+	wakeValid bool    // ... valid until an enqueue or an acting Tick
+	banksTmp  []int64 // scratch per-pass per-bank visited stamps
+	bankStamp int64   // current stamp; bumped once per pass
+	id        int     // channel index, for trace output
 
 	consecFail int  // consecutive link failures, channel-wide (storm guard)
 	inStorm    bool // currently past the storm threshold
@@ -208,7 +213,7 @@ func NewController(cfg Config, mem Memory, policy Policy, phy Phy) (*Controller,
 		refPending: make([]bool, cfg.DRAM.Geometry.Ranks),
 		pd:         make([]rankPD, cfg.DRAM.Geometry.Ranks),
 		stats:      NewStats(),
-		banksTmp:   make(map[int]bool),
+		banksTmp:   make([]int64, cfg.DRAM.Geometry.Ranks*cfg.DRAM.Geometry.BankGroups*cfg.DRAM.Geometry.BanksPerGroup),
 	}
 	for r := range c.pd {
 		c.pd[r].idleSince = -1
@@ -240,6 +245,7 @@ func (c *Controller) Pending() bool {
 // the next cycle without a DRAM access; writes to an already-queued line
 // coalesce in place.
 func (c *Controller) Enqueue(req *Request, now int64) bool {
+	c.wakeValid = false // any arrival can create nearer work
 	if req.Write {
 		for _, w := range c.wq {
 			if w.Line == req.Line {
@@ -296,11 +302,12 @@ func (c *Controller) Tick(now int64) {
 	c.now = now
 	c.started = true
 
-	c.completeReads(now)
+	acted := c.completeReads(now)
 
 	for r := range c.refDue {
-		if now >= c.refDue[r] {
+		if now >= c.refDue[r] && !c.refPending[r] {
 			c.refPending[r] = true
+			acted = true
 		}
 	}
 	issued := false
@@ -311,7 +318,20 @@ func (c *Controller) Tick(now int64) {
 		issued = c.tryRefresh(now)
 	}
 	if !issued {
-		c.schedule(now)
+		issued = c.schedule(now)
+	}
+	c.acted = acted || issued
+	// A no-op tick (nothing completed, flipped, or issued) leaves every
+	// wake term unchanged, so a memoized scan stays valid across it. The
+	// power-down machine mutates state without reporting, so its runs
+	// always invalidate.
+	if c.acted {
+		c.idleRun = 0
+	} else {
+		c.idleRun++
+	}
+	if c.acted || c.cfg.PowerDown.Enable {
+		c.wakeValid = false
 	}
 
 	c.classify(now)
@@ -322,7 +342,8 @@ func (c *Controller) Tick(now int64) {
 
 // completeReads retires reads whose data has fully arrived, plus deferred
 // forwarding/coalescing completions.
-func (c *Controller) completeReads(now int64) {
+func (c *Controller) completeReads(now int64) bool {
+	completed := false
 	kept := c.inflight[:0]
 	for _, f := range c.inflight {
 		if f.done <= now {
@@ -333,6 +354,7 @@ func (c *Controller) completeReads(now int64) {
 				c.stats.DemandReadsCompleted++
 			}
 			f.req.complete(now)
+			completed = true
 		} else {
 			kept = append(kept, f)
 		}
@@ -343,11 +365,13 @@ func (c *Controller) completeReads(now int64) {
 	for _, f := range c.deferred {
 		if f.done <= now {
 			f.req.complete(now)
+			completed = true
 		} else {
 			keptD = append(keptD, f)
 		}
 	}
 	c.deferred = keptD
+	return completed
 }
 
 // rankBlocked reports whether new activity should avoid a rank because a
@@ -462,8 +486,8 @@ func (c *Controller) tryRefresh(now int64) bool {
 }
 
 // schedule runs FR-FCFS over the active queue and issues at most one
-// command.
-func (c *Controller) schedule(now int64) {
+// command; it reports whether anything was issued.
+func (c *Controller) schedule(now int64) bool {
 	// Write-drain mode transitions (Section 4.6, Table 2 watermarks).
 	if len(c.wq) >= c.cfg.DrainHigh {
 		c.writeMode = true
@@ -475,23 +499,20 @@ func (c *Controller) schedule(now int64) {
 		active, write = c.wq, true
 	}
 	if len(active) == 0 {
-		return
+		return false
 	}
 
 	if write {
-		if c.readyHitPass(active, true, now, nil) {
-			return
+		if c.readyHitPass(active, true, now, keepAll) {
+			return true
 		}
-		c.fcfsPass(active, now, nil)
-		return
+		return c.fcfsPass(active, now, keepAll)
 	}
 	// Demand reads outrank prefetches. Normally prefetch row hits may still
 	// slip in ahead of demand ACT/PRE work (they keep the streams timely),
 	// but once any demand has aged past the escalation threshold, demand
 	// bank work preempts them - otherwise an endless supply of ready
 	// prefetch hits can starve the misses cores are actually blocked on.
-	demand := func(r *Request) bool { return r.Demand }
-	prefetch := func(r *Request) bool { return !r.Demand }
 	demandFirst := false
 	for _, r := range active {
 		if r.Demand {
@@ -499,33 +520,46 @@ func (c *Controller) schedule(now int64) {
 			break
 		}
 	}
-	if c.readyHitPass(active, false, now, demand) {
-		return
+	if c.readyHitPass(active, false, now, keepDemand) {
+		return true
 	}
 	if demandFirst {
-		if c.fcfsPass(active, now, demand) {
-			return
+		if c.fcfsPass(active, now, keepDemand) {
+			return true
 		}
-		if c.readyHitPass(active, false, now, prefetch) {
-			return
+		if c.readyHitPass(active, false, now, keepPrefetch) {
+			return true
 		}
 	} else {
-		if c.readyHitPass(active, false, now, prefetch) {
-			return
+		if c.readyHitPass(active, false, now, keepPrefetch) {
+			return true
 		}
-		if c.fcfsPass(active, now, demand) {
-			return
+		if c.fcfsPass(active, now, keepDemand) {
+			return true
 		}
 	}
-	c.fcfsPass(active, now, prefetch)
+	return c.fcfsPass(active, now, keepPrefetch)
+}
+
+// candidate filters for the scheduler passes; a small enum instead of a
+// predicate closure keeps the per-request check branch-predictable and
+// inlineable on the hottest loops in the simulator.
+const (
+	keepAll = iota
+	keepDemand
+	keepPrefetch
+)
+
+// skipReq reports whether a pass with the given filter ignores req.
+func skipReq(keep int, req *Request) bool {
+	return (keep == keepDemand && !req.Demand) || (keep == keepPrefetch && req.Demand)
 }
 
 // readyHitPass issues the oldest matching column command whose row is open
-// and whose constraints are met right now. keep filters candidates (nil
-// accepts all).
-func (c *Controller) readyHitPass(active []*Request, write bool, now int64, keep func(*Request) bool) bool {
+// and whose constraints are met right now. keep filters candidates.
+func (c *Controller) readyHitPass(active []*Request, write bool, now int64, keep int) bool {
 	for i, req := range active {
-		if keep != nil && !keep(req) {
+		if skipReq(keep, req) {
 			continue
 		}
 		if req.retryAt > now || c.rankBlocked(req.loc.Rank) {
@@ -544,19 +578,17 @@ func (c *Controller) readyHitPass(active []*Request, write bool, now int64, keep
 // fcfsPass walks oldest-first issuing the ACT or PRE the request needs, at
 // most one action per bank so a younger conflict cannot close a row an
 // older request still needs.
-func (c *Controller) fcfsPass(active []*Request, now int64, keep func(*Request) bool) bool {
-	for k := range c.banksTmp {
-		delete(c.banksTmp, k)
-	}
+func (c *Controller) fcfsPass(active []*Request, now int64, keep int) bool {
+	c.bankStamp++
 	for _, req := range active {
-		if keep != nil && !keep(req) {
+		if skipReq(keep, req) {
 			continue
 		}
 		bankID := (req.loc.Rank*c.cfg.DRAM.Geometry.BankGroups+req.loc.Group)*c.cfg.DRAM.Geometry.BanksPerGroup + req.loc.Bank
-		if c.banksTmp[bankID] {
+		if c.banksTmp[bankID] == c.bankStamp {
 			continue
 		}
-		c.banksTmp[bankID] = true
+		c.banksTmp[bankID] = c.bankStamp
 		if req.retryAt > now || c.rankBlocked(req.loc.Rank) {
 			continue
 		}

@@ -69,6 +69,24 @@ func (s *System) Tick(now int64) {
 	}
 }
 
+// NextWake returns the earliest next-wake bound over all channels (see
+// Controller.NextWake for the contract).
+func (s *System) NextWake() int64 {
+	w := s.ctrls[0].NextWake()
+	for _, c := range s.ctrls[1:] {
+		w = min(w, c.NextWake())
+	}
+	return w
+}
+
+// SkipUntil bulk-accounts the no-op cycles up to and including `to` on
+// every channel.
+func (s *System) SkipUntil(to int64) {
+	for _, c := range s.ctrls {
+		c.SkipUntil(to)
+	}
+}
+
 // Pending reports whether any channel still has queued or in-flight work.
 func (s *System) Pending() bool {
 	for _, c := range s.ctrls {

@@ -1,0 +1,177 @@
+package memctrl
+
+import (
+	"reflect"
+	"testing"
+
+	"mil/internal/code"
+	"mil/internal/fault"
+)
+
+// scriptedReq is one externally-scheduled request arrival.
+type scriptedReq struct {
+	at     int64
+	line   int64
+	write  bool
+	demand bool
+}
+
+func (s scriptedReq) build(t *testing.T) *Request {
+	t.Helper()
+	req := &Request{Line: s.line, Write: s.write, Demand: s.demand}
+	req.loc = mustMap(t, s.line)
+	req.mapped = true
+	return req
+}
+
+// runScriptRef drives the controller through [0, horizon] ticking every
+// cycle, feeding script arrivals (with next-cycle retry on backpressure)
+// after each tick, exactly as the simulation's steplock loop would.
+func runScriptRef(t *testing.T, c *Controller, script []scriptedReq, horizon int64) {
+	t.Helper()
+	i := 0
+	var pending *Request
+	for now := int64(0); now <= horizon; now++ {
+		c.Tick(now)
+		if pending != nil && c.Enqueue(pending, now) {
+			pending = nil
+		}
+		for pending == nil && i < len(script) && script[i].at <= now {
+			req := script[i].build(t)
+			i++
+			if !c.Enqueue(req, now) {
+				pending = req
+			}
+		}
+	}
+}
+
+// runScriptEvent covers the same timeline with the event-core contract:
+// advance to min(NextWake, next arrival), SkipUntil the gap, fire. It
+// returns the number of cycles actually ticked so tests can assert the
+// skipping is real.
+func runScriptEvent(t *testing.T, c *Controller, script []scriptedReq, horizon int64) int64 {
+	t.Helper()
+	i := 0
+	var pending *Request
+	var ticked int64
+	for now := int64(0); now <= horizon; {
+		if now-1 > c.now {
+			c.SkipUntil(now - 1)
+		}
+		c.Tick(now)
+		ticked++
+		if pending != nil && c.Enqueue(pending, now) {
+			pending = nil
+		}
+		for pending == nil && i < len(script) && script[i].at <= now {
+			req := script[i].build(t)
+			i++
+			if !c.Enqueue(req, now) {
+				pending = req
+			}
+		}
+		wake := c.NextWake()
+		if pending != nil {
+			wake = now + 1
+		}
+		if i < len(script) {
+			wake = min(wake, script[i].at)
+		}
+		if wake <= now {
+			wake = now + 1
+		}
+		now = wake
+	}
+	if c.now < horizon {
+		c.SkipUntil(horizon)
+	}
+	return ticked
+}
+
+// requireSameStats compares the two controllers field for field.
+func requireSameStats(t *testing.T, ref, ev *Controller) {
+	t.Helper()
+	if ref.now != ev.now {
+		t.Fatalf("final cycle: ref %d, event %d", ref.now, ev.now)
+	}
+	a, b := ref.Stats(), ev.Stats()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("stats diverge:\n  ref:   %+v\n  event: %+v", a, b)
+	}
+}
+
+// TestEventSkipRefresh proves refreshes fire on schedule when the event
+// loop skips the long idle stretches between them: a handful of reads
+// leave rows open (so the refresh drain's PRE path runs too), then the
+// controller idles across many tREFI windows.
+func TestEventSkipRefresh(t *testing.T) {
+	script := []scriptedReq{
+		{at: 0, line: 0, demand: true},
+		{at: 1, line: 1 << 18, demand: true},
+		{at: 2, line: 1 << 20, demand: true},
+	}
+	const horizon = 40000
+	ref := testController(t)
+	ev := testController(t)
+	runScriptRef(t, ref, script, horizon)
+	ticked := runScriptEvent(t, ev, script, horizon)
+	if ev.Stats().Refreshes == 0 {
+		t.Fatal("no refreshes in the window; test exercises nothing")
+	}
+	if ticked > horizon/4 {
+		t.Errorf("event loop ticked %d of %d cycles; skipping is broken", ticked, horizon)
+	}
+	requireSameStats(t, ref, ev)
+}
+
+// TestEventSkipPowerDown proves the power-down state machine's idle
+// deadlines, exits, and residency accounting survive skipping: bursts of
+// traffic separated by idle gaps long enough to power ranks down.
+func TestEventSkipPowerDown(t *testing.T) {
+	var script []scriptedReq
+	for burst := int64(0); burst < 4; burst++ {
+		base := burst * 2000
+		for k := int64(0); k < 6; k++ {
+			script = append(script, scriptedReq{at: base + k, line: k << 18, demand: true})
+		}
+	}
+	const horizon = 9000
+	ref := pdController(t, 64, 10)
+	ev := pdController(t, 64, 10)
+	runScriptRef(t, ref, script, horizon)
+	ticked := runScriptEvent(t, ev, script, horizon)
+	s := ev.Stats()
+	if s.PowerDownCycles == 0 || s.PowerDownExits == 0 {
+		t.Fatalf("power-down never cycled (down %d, exits %d); test exercises nothing",
+			s.PowerDownCycles, s.PowerDownExits)
+	}
+	if ticked > horizon/2 {
+		t.Errorf("event loop ticked %d of %d cycles; skipping is broken", ticked, horizon)
+	}
+	requireSameStats(t, ref, ev)
+}
+
+// TestEventSkipRetryBackoff proves the NACK-replay path's backoff gating
+// (request.retryAt) contributes correct wake bounds: with an aggressive
+// injector every batch sees replays, and the backoff windows are long
+// enough that a missed wake would reorder or delay them.
+func TestEventSkipRetryBackoff(t *testing.T) {
+	fc := fault.Config{BER: 2e-4, Seed: 9}
+	retry := RetryConfig{}
+	var script []scriptedReq
+	for k := int64(0); k < 24; k++ {
+		script = append(script, scriptedReq{at: k * 3, line: k << 16, write: k%2 == 0, demand: true})
+	}
+	const horizon = 20000
+	ref := faultyController(t, fc, retry, FixedPolicy{Codec: code.DBI{}})
+	ev := faultyController(t, fc, retry, FixedPolicy{Codec: code.DBI{}})
+	runScriptRef(t, ref, script, horizon)
+	runScriptEvent(t, ev, script, horizon)
+	s := ev.Stats()
+	if s.Retries() == 0 {
+		t.Fatal("no replays at BER 2e-4; test exercises nothing")
+	}
+	assertConservation(t, s)
+	requireSameStats(t, ref, ev)
+}

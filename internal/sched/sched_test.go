@@ -1,0 +1,66 @@
+package sched
+
+import "testing"
+
+func TestClockCrossing(t *testing.T) {
+	c := Clock{CPUPerDRAM: 2}
+	if c.DRAMCycle(0) != 0 || c.DRAMCycle(1) != 0 || c.DRAMCycle(7) != 3 {
+		t.Fatal("floor division broken")
+	}
+	if !c.IsDRAMEdge(0) || c.IsDRAMEdge(1) || !c.IsDRAMEdge(4) {
+		t.Fatal("edge detection broken")
+	}
+	if c.CPUCycle(3) != 6 {
+		t.Fatal("DRAM->CPU conversion broken")
+	}
+	if c.CPUCycle(Never) != Never || c.CPUCycle(Never/2) != Never {
+		t.Fatal("Never must saturate across the crossing")
+	}
+	// Round trip: a DRAM wake converted to CPU cycles lands on an edge
+	// mapping back to the same DRAM cycle.
+	for d := int64(0); d < 100; d++ {
+		if got := c.DRAMCycle(c.CPUCycle(d)); got != d {
+			t.Fatalf("round trip %d -> %d", d, got)
+		}
+	}
+}
+
+func TestEventClockAccounting(t *testing.T) {
+	e := NewEventClock()
+	if e.Now() != -1 {
+		t.Fatal("fresh clock not before cycle 0")
+	}
+	e.Advance(0) // fire cycle 0: nothing skipped
+	e.Advance(1) // adjacent cycle: nothing skipped
+	e.Advance(10)
+	if e.Events != 3 || e.Skipped != 8 {
+		t.Fatalf("events=%d skipped=%d, want 3/8", e.Events, e.Skipped)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("now=%d", e.Now())
+	}
+	// Events + Skipped must tile the simulated span exactly.
+	if e.Events+e.Skipped != e.Now()+1 {
+		t.Fatal("events+skipped does not tile the timeline")
+	}
+}
+
+func TestEventClockMonotone(t *testing.T) {
+	e := NewEventClock()
+	e.Advance(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards advance did not panic")
+		}
+	}()
+	e.Advance(5)
+}
+
+func TestMinWake(t *testing.T) {
+	if MinWake() != Never {
+		t.Fatal("empty fold must be Never")
+	}
+	if MinWake(Never, 7, 3, Never) != 3 {
+		t.Fatal("min fold broken")
+	}
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is compiled in. The
+// steplock differential sweeps shrink to one cell under it: they compare
+// two single-threaded loop modes (no concurrency to race), and the
+// detector's ~10-20x slowdown would blow the package past the test
+// timeout for no additional coverage.
+const raceEnabled = true

@@ -10,6 +10,7 @@ import (
 	"mil/internal/energy"
 	"mil/internal/fault"
 	"mil/internal/memctrl"
+	"mil/internal/sched"
 	"mil/internal/workload"
 )
 
@@ -49,6 +50,11 @@ type Config struct {
 	// are bit-reproducible per seed. Seed 0 selects the legacy
 	// (benchmark-derived) streams.
 	Seed uint64
+	// Steplock selects the per-cycle reference loop instead of the
+	// event-driven core. Both produce byte-identical Results (modulo the
+	// Loop counters); the reference mode exists so the differential tests
+	// can prove it, and as a debugging fallback.
+	Steplock bool
 }
 
 // Validate reports configuration errors before any machinery is built.
@@ -81,6 +87,20 @@ func (c *Config) Validate() error {
 // DefaultMemOps is the per-thread memory-op budget used by the experiments.
 const DefaultMemOps = 6000
 
+// LoopStats describes how the main loop covered the simulated timeline.
+// It lives outside Mem/Cache because it measures the simulator, not the
+// simulated machine: the two loop modes must agree on every model
+// statistic while reporting different loop counters.
+type LoopStats struct {
+	// EventsFired counts CPU cycles the loop actually simulated;
+	// CyclesSkipped counts cycles proven no-ops and jumped over.
+	// EventsFired + CyclesSkipped == CPUCycles.
+	EventsFired   int64
+	CyclesSkipped int64
+	// Steplock records that the per-cycle reference loop produced the run.
+	Steplock bool
+}
+
 // Result captures everything one run produces; the experiment drivers
 // combine Results into the paper's figures.
 type Result struct {
@@ -95,6 +115,7 @@ type Result struct {
 
 	Mem   *memctrl.Stats
 	Cache cache.Stats
+	Loop  LoopStats
 
 	DRAM energy.Breakdown
 	CPUJ float64
@@ -132,14 +153,14 @@ func newMemPort(sys *memctrl.System, bench *workload.Benchmark) *memPort {
 }
 
 // ReadLine implements cache.MemPort.
-func (p *memPort) ReadLine(line int64, demand bool, stream int, done func()) bool {
+func (p *memPort) ReadLine(line int64, demand bool, stream int, done func(int64)) bool {
 	req := p.pendingRd[line]
 	if req == nil {
 		req = &memctrl.Request{Line: line, Demand: demand, Stream: stream}
 		req.OnDone = func(int64) {
 			delete(p.inflight, line)
 			if done != nil {
-				done()
+				done(line)
 			}
 		}
 	}
@@ -304,24 +325,79 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	// Main loop: the CPU clock runs at 2x the DRAM clock on both platforms
-	// (3.2GHz/1.6GHz and 1.6GHz/0.8GHz).
+	// Main loop. The CPU clock runs at 2x the DRAM clock on both platforms
+	// (3.2GHz/1.6GHz and 1.6GHz/0.8GHz); the DRAM domain ticks on even CPU
+	// cycles. Two interchangeable loops cover the timeline:
+	//
+	//   - the steplock reference loop ticks every CPU cycle;
+	//   - the event loop advances to the minimum of the domains' NextWake
+	//     bounds, bulk-accounts the skipped (provably no-op) cycles, and
+	//     fires the landed cycle exactly as the reference loop would.
+	//
+	// Both run the same per-cycle code on every cycle that does anything,
+	// so they produce byte-identical Results (the differential tests in
+	// steplock_test.go hold them to that).
 	var cpuNow int64
-	for {
-		if cpuNow%2 == 0 {
-			port.dramNow = cpuNow / 2
-			memSys.Tick(port.dramNow)
+	var loop LoopStats
+	if cfg.Steplock {
+		for {
+			if cpuNow%2 == 0 {
+				port.dramNow = cpuNow / 2
+				memSys.Tick(port.dramNow)
+			}
+			hier.Tick()
+			proc.Tick(cpuNow)
+			if proc.Done() && !hier.Pending() && !memSys.Pending() {
+				break
+			}
+			cpuNow++
+			if cpuNow > maxCycles {
+				return nil, fmt.Errorf("sim: %s/%s/%s exceeded %d CPU cycles",
+					cfg.System, cfg.Scheme, cfg.Benchmark.Name, maxCycles)
+			}
 		}
-		hier.Tick()
-		proc.Tick(cpuNow)
-		if proc.Done() && !hier.Pending() && !memSys.Pending() {
-			break
+		loop = LoopStats{EventsFired: cpuNow + 1, Steplock: true}
+	} else {
+		clock := sched.Clock{CPUPerDRAM: 2}
+		ev := sched.NewEventClock()
+		for {
+			ev.Advance(cpuNow)
+			// Stall accounting for the skipped window first: the fills the
+			// DRAM tick delivers below unblock threads, and the reference
+			// loop had them blocked for the whole window.
+			proc.SkipTo(cpuNow)
+			d := clock.DRAMCycle(cpuNow)
+			if clock.IsDRAMEdge(cpuNow) {
+				memSys.SkipUntil(d - 1)
+				port.dramNow = d
+				memSys.Tick(d)
+			} else {
+				// A landed odd cycle: the reference loop's last DRAM tick
+				// (at cpuNow-1) was a no-op or already fired; account any
+				// still-unaccounted DRAM cycles without ticking.
+				memSys.SkipUntil(d)
+				port.dramNow = d
+			}
+			hier.Tick()
+			proc.Tick(cpuNow)
+			if proc.Done() && !hier.Pending() && !memSys.Pending() {
+				break
+			}
+			next := sched.MinWake(
+				proc.NextWake(cpuNow),
+				hier.NextWake(cpuNow),
+				clock.CPUCycle(memSys.NextWake()),
+			)
+			if next <= cpuNow {
+				next = cpuNow + 1
+			}
+			cpuNow = next
+			if cpuNow > maxCycles {
+				return nil, fmt.Errorf("sim: %s/%s/%s exceeded %d CPU cycles",
+					cfg.System, cfg.Scheme, cfg.Benchmark.Name, maxCycles)
+			}
 		}
-		cpuNow++
-		if cpuNow > maxCycles {
-			return nil, fmt.Errorf("sim: %s/%s/%s exceeded %d CPU cycles",
-				cfg.System, cfg.Scheme, cfg.Benchmark.Name, maxCycles)
-		}
+		loop = LoopStats{EventsFired: ev.Events, CyclesSkipped: ev.Skipped}
 	}
 
 	dramCycles := cpuNow/2 + 1
@@ -342,6 +418,7 @@ func Run(cfg Config) (*Result, error) {
 		Instructions: proc.Retired,
 		Mem:          stats,
 		Cache:        hier.Stats(),
+		Loop:         loop,
 		DRAM:         breakdown,
 		CPUJ:         energy.CPUEnergy(plat.cpuPower, seconds, proc.Retired),
 		RetryJ:       energy.RetryEnergyJ(plat.power, stats),
