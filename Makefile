@@ -20,7 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/workload/
+	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/workload/ ./internal/obs/
 	$(GO) test -race ./...
 
 verify: build vet test race kernelcheck
@@ -63,14 +63,18 @@ benchdiff:
 	fi
 
 # CPU-profile the reduced sweep and print the top-10 cumulative functions.
+# Profiles land under the gitignored prof/ directory, never the repo root.
 profile:
-	$(GO) run ./cmd/milbench -ops 60 -codec-iters 20000 -out /tmp/mil_profile_bench.json -cpuprofile cpu.pprof -memprofile mem.pprof
-	$(GO) tool pprof -top -cum -nodecount=10 cpu.pprof
+	mkdir -p prof
+	$(GO) run ./cmd/milbench -ops 60 -codec-iters 20000 -out /tmp/mil_profile_bench.json -cpuprofile prof/cpu.pprof -memprofile prof/mem.pprof
+	$(GO) tool pprof -top -cum -nodecount=10 prof/cpu.pprof
 
-# Re-bless the golden experiment snapshots after an intentional model
-# change; review the diff under internal/experiments/testdata/golden/.
+# Re-bless the golden snapshots after an intentional model change: the
+# experiment tables (internal/experiments/testdata/golden/) and the
+# observability artifacts (internal/sim/testdata/obs/). Review the diffs.
 golden:
 	$(GO) test ./internal/experiments/ -run TestGolden -update
+	$(GO) test ./internal/sim/ -run TestObsGolden -update
 
 # Regenerate EXPERIMENTS.md (all figures and tables; slow).
 experiments:

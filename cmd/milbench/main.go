@@ -89,6 +89,21 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	// Reject nonsense dials up front instead of silently misbehaving (a
+	// zero op budget would fall back to the 6000-op default deep in the
+	// stack, a negative -j would serialize without saying so).
+	switch {
+	case *ops <= 0:
+		fatal(fmt.Errorf("-ops %d: the per-thread op budget must be positive", *ops))
+	case *workers < 0:
+		fatal(fmt.Errorf("-j %d: the worker-pool width cannot be negative (0 selects GOMAXPROCS)", *workers))
+	case *iters <= 0:
+		fatal(fmt.Errorf("-codec-iters %d: the micro-benchmark needs a positive iteration count", *iters))
+	}
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fatal(err)
@@ -126,8 +141,14 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "milbench: sweep %d sims, serial %.2fs, -j %d %.2fs (%.2fx)\n",
 		sims, serial.Seconds(), *workers, parallel.Seconds(), rep.Sweep.Speedup)
-	fmt.Fprintf(os.Stderr, "milbench: event core fired %d cycles, skipped %d (%.1f%% of the timeline)\n",
-		fired, skipped, 100*float64(skipped)/float64(fired+skipped))
+	// Guard the empty-timeline case (fired+skipped == 0 would print NaN),
+	// and call fired what it is: landed events, not cycles.
+	skippedPct := 0.0
+	if total := fired + skipped; total > 0 {
+		skippedPct = 100 * float64(skipped) / float64(total)
+	}
+	fmt.Fprintf(os.Stderr, "milbench: event core fired %d events, skipped %d cycles (%.1f%% of the timeline)\n",
+		fired, skipped, skippedPct)
 
 	for _, name := range code.Names() {
 		ct, err := timeCodec(name, *iters)

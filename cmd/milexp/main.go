@@ -10,6 +10,11 @@
 // within one invocation are shared across figures, and fresh simulations
 // execute on a worker pool -j wide (default GOMAXPROCS). The report is
 // byte-identical for every -j: scheduling never leaks into the tables.
+//
+// -stats appends the sweep's aggregated observability metrics snapshot
+// (internal/obs CSV: counters, gauges, and the bus idle-window histogram,
+// summed over every fresh simulation) to the report destination. The
+// snapshot is byte-identical for every -j too.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"time"
 
 	"mil/internal/experiments"
+	"mil/internal/obs"
 	"mil/internal/sim"
 )
 
@@ -32,12 +38,16 @@ func main() {
 		progress = flag.Bool("progress", true, "stream per-run progress and timing on stderr")
 		quiet    = flag.Bool("q", false, "shortcut for -progress=false")
 		seed     = flag.Uint64("seed", 0, "base stream seed (0 = legacy benchmark-derived streams)")
+		stats    = flag.Bool("stats", false, "append the aggregated observability metrics snapshot (CSV) to the report")
 	)
 	flag.Parse()
 
 	r := experiments.NewRunner(*ops)
 	r.Workers = *workers
 	r.BaseSeed = *seed
+	if *stats {
+		r.Metrics = obs.NewRegistry()
+	}
 	if *progress && !*quiet {
 		r.Progress = os.Stderr
 	}
@@ -57,6 +67,15 @@ func main() {
 	for _, t := range tables {
 		sb.WriteString(t.String())
 		sb.WriteString("\n")
+	}
+	if r.Metrics != nil {
+		sb.WriteString("## Observability metrics snapshot\n\n")
+		sb.WriteString("Aggregated over every fresh simulation of this sweep (see DESIGN.md §5.9).\n\n```csv\n")
+		if err := r.Metrics.WriteCSV(&sb); err != nil {
+			fmt.Fprintln(os.Stderr, "milexp:", err)
+			os.Exit(1)
+		}
+		sb.WriteString("```\n")
 	}
 
 	if r.Progress != nil {

@@ -9,10 +9,19 @@
 // Scheme names: baseline, milc, cafo2, cafo4, mil, lwc3, bl10-bl16, raw.
 // With -bench all the suite runs on a worker pool -j wide (default
 // GOMAXPROCS); reports print in suite order regardless of -j, and -progress
-// streams per-run completion lines on stderr. -trace forces -j 1 so the
-// command trace stays a single uninterleaved stream. -steplock selects the
+// streams per-run completion lines on stderr. -steplock selects the
 // per-cycle reference loop; results are byte-identical to the default
 // event-driven core, just slower (it exists for differential debugging).
+//
+// Observability (DESIGN.md §5.9): -trace out.json records the run's DRAM
+// commands, data-bus busy/idle spans, and event-core fire/skip spans as
+// Chrome trace-event JSON — open it at https://ui.perfetto.dev (or
+// chrome://tracing). Tracing is single-run only, so -trace rejects
+// -bench all. -metrics out.csv writes the metrics-registry snapshot
+// (counters/gauges/histograms, including the bus idle-window histogram);
+// it composes with -bench all and any -j, and the snapshot is
+// byte-identical at any worker count. -cmdlog file keeps the older
+// plain-text command log (one line per command; forces -j 1).
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 
 	"mil/internal/fault"
 	"mil/internal/memctrl"
+	"mil/internal/obs"
 	"mil/internal/profiling"
 	"mil/internal/sim"
 	"mil/internal/workload"
@@ -43,7 +53,10 @@ func main() {
 		x      = flag.Int("x", 0, "MiL look-ahead distance override (0 = default)")
 		verify = flag.Bool("verify", false, "decode and check every burst")
 		pd     = flag.Bool("powerdown", false, "enable the fast power-down extension")
-		trace  = flag.String("trace", "", "write a DRAM command trace to this file")
+
+		trace   = flag.String("trace", "", "write a Perfetto (Chrome trace-event) JSON trace to this file (single benchmark only)")
+		metrics = flag.String("metrics", "", "write the observability metrics snapshot (CSV) to this file")
+		cmdlog  = flag.String("cmdlog", "", "write a plain-text DRAM command log to this file")
 
 		ber      = flag.Float64("ber", 0, "link bit-error rate per driven bit-time (0 = clean link)")
 		bursterr = flag.Float64("bursterr", 0, "per-transfer probability of a correlated error burst")
@@ -83,8 +96,8 @@ func main() {
 	}
 
 	var traceW io.Writer
-	if *trace != "" {
-		f, err := os.Create(*trace)
+	if *cmdlog != "" {
+		f, err := os.Create(*cmdlog)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "milsim:", err)
 			exit(1)
@@ -92,6 +105,26 @@ func main() {
 		defer f.Close()
 		traceW = bufio.NewWriter(f)
 		defer traceW.(*bufio.Writer).Flush()
+	}
+
+	// Observability sinks. The metrics registry is shared by every run (its
+	// updates commute, so the snapshot is -j independent); the trace
+	// recorder holds one run's timeline and therefore rejects -bench all.
+	var reg *obs.Registry
+	var rec *obs.Trace
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+	}
+	if *trace != "" {
+		if *bench == "all" {
+			fmt.Fprintln(os.Stderr, "milsim: -trace records a single run's timeline; pick one benchmark instead of -bench all")
+			exit(2)
+		}
+		rec = obs.NewTrace(0)
+	}
+	var obsLayer *obs.Obs
+	if reg != nil || rec != nil {
+		obsLayer = &obs.Obs{Metrics: reg, Trace: rec}
 	}
 
 	kind := sim.Server
@@ -145,7 +178,7 @@ func main() {
 			res, err := sim.Run(sim.Config{
 				System: kind, Scheme: *scheme, Benchmark: b,
 				MemOpsPerThread: *ops, LookaheadX: *x, Verify: *verify,
-				PowerDown: *pd, Trace: traceW,
+				PowerDown: *pd, Trace: traceW, Obs: obsLayer,
 				Fault: fc, WriteCRC: *writecrc, CAParity: *caparity,
 				Retry:    memctrl.RetryConfig{MaxRetries: *retries},
 				Seed:     *seed,
@@ -169,10 +202,44 @@ func main() {
 		}
 		report(o.res)
 	}
+
+	if rec != nil {
+		if err := writeFileWith(*trace, rec.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "milsim:", err)
+			exit(1)
+		}
+		if n := rec.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "milsim: trace buffer filled; %d events dropped\n", n)
+		}
+	}
+	if reg != nil {
+		if err := writeFileWith(*metrics, reg.WriteCSV); err != nil {
+			fmt.Fprintln(os.Stderr, "milsim:", err)
+			exit(1)
+		}
+	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "milsim:", err)
 		os.Exit(1)
 	}
+}
+
+// writeFileWith streams write(w) into path through a buffered writer.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := write(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func report(r *sim.Result) {

@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 
+	"mil/internal/obs"
 	"mil/internal/sched"
 )
 
@@ -122,6 +123,32 @@ type Hierarchy struct {
 	acted bool
 
 	stats Stats
+
+	// obs, when non-nil, carries the hierarchy's metric handles; nil (the
+	// default) keeps every instrumented site on a single-branch path.
+	obs *hierObs
+}
+
+// hierObs holds the hierarchy's pre-resolved observability handles.
+type hierObs struct {
+	wbQueued  *obs.Counter // writebacks deferred by port backpressure
+	fillRetry *obs.Counter // fill issues rejected by the port
+	pfDropped *obs.Counter // prefetches dropped (present, pending, or no MSHR)
+	wbPeak    *obs.Gauge   // writeback-queue high-water mark
+}
+
+// SetObs attaches the observability layer. Call before the first access.
+// Nil-safe: a disabled Obs leaves the hierarchy on its zero-cost path.
+func (h *Hierarchy) SetObs(o *obs.Obs) {
+	if !o.Enabled() {
+		return
+	}
+	h.obs = &hierObs{
+		wbQueued:  o.Counter("cache_wb_backpressure_total"),
+		fillRetry: o.Counter("cache_fill_retry_total"),
+		pfDropped: o.Counter("cache_prefetch_dropped_total"),
+		wbPeak:    o.Gauge("cache_wb_queue_peak"),
+	}
 }
 
 // NewHierarchy builds the hierarchy over a memory port.
@@ -244,7 +271,7 @@ func (h *Hierarchy) Access(core int, addr int64, write bool, done func()) (Acces
 	h.mshr[line] = e
 	e.issued = h.port.ReadLine(line, true, core, h.fillFn)
 	if entry, ok := h.mshr[line]; ok && !entry.issued {
-		h.retryQ = append(h.retryQ, line)
+		h.queueFillRetry(line)
 	}
 
 	if h.pf != nil {
@@ -259,22 +286,38 @@ func (h *Hierarchy) Access(core int, addr int64, write bool, done func()) (Acces
 // present or pending.
 func (h *Hierarchy) issuePrefetch(line int64, stream int) {
 	if h.l2.Peek(line) != Invalid {
-		h.stats.PrefetchesDropped++
+		h.dropPrefetch()
 		return
 	}
 	if _, ok := h.mshr[line]; ok {
-		h.stats.PrefetchesDropped++
+		h.dropPrefetch()
 		return
 	}
 	if len(h.mshr) >= h.cfg.MSHRs {
-		h.stats.PrefetchesDropped++
+		h.dropPrefetch()
 		return
 	}
 	e := &mshrEntry{demand: false, stream: stream}
 	h.mshr[line] = e
 	e.issued = h.port.ReadLine(line, false, stream, h.fillFn)
 	if entry, ok := h.mshr[line]; ok && !entry.issued {
-		h.retryQ = append(h.retryQ, line)
+		h.queueFillRetry(line)
+	}
+}
+
+// dropPrefetch records one dropped prefetch in both counter sets.
+func (h *Hierarchy) dropPrefetch() {
+	h.stats.PrefetchesDropped++
+	if h.obs != nil {
+		h.obs.pfDropped.Inc()
+	}
+}
+
+// queueFillRetry records a port-rejected fill and queues its replay.
+func (h *Hierarchy) queueFillRetry(line int64) {
+	h.retryQ = append(h.retryQ, line)
+	if h.obs != nil {
+		h.obs.fillRetry.Inc()
 	}
 }
 
@@ -388,6 +431,10 @@ func (h *Hierarchy) writeback(line int64) {
 	h.stats.Writebacks++
 	if !h.port.WriteLine(line, 0) {
 		h.wbQueue = append(h.wbQueue, line)
+		if h.obs != nil {
+			h.obs.wbQueued.Inc()
+			h.obs.wbPeak.Max(int64(len(h.wbQueue)))
+		}
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"mil/internal/cache"
+	"mil/internal/obs"
 	"mil/internal/sched"
 )
 
@@ -106,6 +107,19 @@ type Processor struct {
 	LoadOps   int64
 	StoreOps  int64
 	StallTics int64 // thread-cycles spent blocked
+
+	// threadBlocks, when attached via SetObs, counts transitions into the
+	// blocked state (a core wedged on a demand miss). Nil is a no-op.
+	threadBlocks *obs.Counter
+}
+
+// SetObs attaches the observability layer. Nil-safe: a disabled Obs
+// leaves the processor on its zero-cost path.
+func (p *Processor) SetObs(o *obs.Obs) {
+	if !o.Enabled() {
+		return
+	}
+	p.threadBlocks = o.Counter("cpu_thread_blocks_total")
 }
 
 // NewProcessor builds a processor whose thread i runs streams[i]. The
@@ -239,11 +253,13 @@ func (p *Processor) step(t *thread, now int64) {
 				t.inflight++
 				if t.inflight >= p.cfg.MaxOutstanding {
 					t.blocked = true // miss window full: stall until one returns
+					p.threadBlocks.Inc()
 				} else {
 					t.readyAt = now + 1 // keep running under the miss
 				}
 			} else {
 				t.blocked = true
+				p.threadBlocks.Inc()
 			}
 		case cache.Retry:
 			t.pending = &op

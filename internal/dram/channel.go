@@ -1,6 +1,10 @@
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"mil/internal/obs"
+)
 
 // infinitePast initializes "last event" registers so constraints are
 // trivially met at time zero.
@@ -54,6 +58,25 @@ type Channel struct {
 	busBusyUntil int64
 	last         lastBurst
 	lastIssue    int64 // latest command issue time, for monotonicity checks
+
+	// cmds, when attached via SetObs, counts issued commands per kind.
+	// Nil (the default) keeps Issue free of observability cost.
+	cmds *[REF + 1]*obs.Counter
+}
+
+// SetObs attaches per-command-kind issue counters from the observability
+// registry. Nil-safe: a disabled Obs leaves the channel untouched.
+func (ch *Channel) SetObs(o *obs.Obs) {
+	if !o.Enabled() {
+		return
+	}
+	ch.cmds = &[REF + 1]*obs.Counter{
+		ACT: o.Counter("dram_act_total"),
+		PRE: o.Counter("dram_pre_total"),
+		RD:  o.Counter("dram_rd_total"),
+		WR:  o.Counter("dram_wr_total"),
+		REF: o.Counter("dram_ref_total"),
+	}
 }
 
 // NewChannel validates cfg and returns a fresh channel model.
@@ -207,6 +230,9 @@ func (ch *Channel) Issue(cmd Command, t int64) BurstInfo {
 		panic(fmt.Sprintf("dram: %v issued at %d before previous command at %d", cmd, t, ch.lastIssue))
 	}
 	ch.lastIssue = t
+	if ch.cmds != nil {
+		ch.cmds[cmd.Kind].Inc()
+	}
 
 	tm := &ch.cfg.Timing
 	bank := &ch.banks[cmd.Rank][cmd.Group][cmd.Bank]

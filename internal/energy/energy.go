@@ -8,9 +8,11 @@ package energy
 
 import (
 	"fmt"
+	"math"
 
 	"mil/internal/dram"
 	"mil/internal/memctrl"
+	"mil/internal/obs"
 )
 
 // DRAMPower holds the electrical constants of one memory technology. The
@@ -264,3 +266,25 @@ type SystemEnergy struct {
 
 // Total returns the full-system energy in joules.
 func (s SystemEnergy) Total() float64 { return s.DRAM.Total() + s.CPU }
+
+// RecordMetrics publishes a finished run's energy accounting into the
+// observability registry as integer nanojoule counters. Rounding to
+// integers before the (commutative) counter adds keeps multi-worker
+// metric snapshots byte-identical at any worker count; at nanojoule
+// resolution the rounding error is far below the model's fidelity.
+func RecordMetrics(o *obs.Obs, b Breakdown, cpuJ, retryJ float64) {
+	if !o.Enabled() {
+		return
+	}
+	nj := func(name string, joules float64) {
+		o.Counter(name).Add(int64(math.Round(joules * 1e9)))
+	}
+	nj("energy_dram_background_nj_total", b.Background)
+	nj("energy_dram_actpre_nj_total", b.ActPre)
+	nj("energy_dram_rdwr_nj_total", b.RdWr)
+	nj("energy_dram_refresh_nj_total", b.Refresh)
+	nj("energy_dram_io_nj_total", b.IO)
+	nj("energy_dram_codec_nj_total", b.Codec)
+	nj("energy_cpu_nj_total", cpuJ)
+	nj("energy_retry_nj_total", retryJ)
+}

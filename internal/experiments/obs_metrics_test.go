@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mil/internal/obs"
+)
+
+// TestMetricsSnapshotWorkerInvariant extends the sweep's determinism
+// contract to the observability layer: the aggregated metrics snapshot
+// must be byte-identical whether the simulations ran serially or eight
+// in flight. Counters add, histogram buckets add, and gauges take
+// maxima — all commutative — and the singleflight cache guarantees the
+// same set of fresh runs feeds the registry either way.
+func TestMetricsSnapshotWorkerInvariant(t *testing.T) {
+	snapshot := func(workers int) string {
+		r := NewRunner(determinismOps())
+		r.Suite = []string{"MM", "GUPS"}
+		r.Workers = workers
+		r.Metrics = obs.NewRegistry()
+		if _, err := r.All(); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := r.Metrics.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	serial := snapshot(1)
+	parallel := snapshot(8)
+	if serial != parallel {
+		t.Fatalf("-j 1 and -j 8 metrics snapshots differ:\n%s", firstDiff(serial, parallel))
+	}
+	for _, want := range []string{
+		"counter,sim_runs_total,,",
+		"counter,dram_rd_total,,",
+		"hist,bus_idle_window_cycles,sum,",
+	} {
+		if !strings.Contains(serial, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, serial)
+		}
+	}
+}

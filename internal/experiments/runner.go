@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"mil/internal/fault"
+	"mil/internal/obs"
 	"mil/internal/sim"
 	"mil/internal/workload"
 )
@@ -121,6 +122,12 @@ type Runner struct {
 	// (0 for evaluation cells, 1 for reliability cells), under which the
 	// archived EXPERIMENTS.md numbers remain reproducible.
 	BaseSeed uint64
+	// Metrics, when non-nil, aggregates every fresh simulation's
+	// observability counters (internal/obs) into one registry. Its
+	// snapshot is byte-identical at any Workers count: the singleflight
+	// cache runs each distinct cell exactly once and all registry updates
+	// commute. Nil (the default) keeps every run on the zero-cost path.
+	Metrics *obs.Registry
 
 	mu    sync.Mutex
 	cache map[string]*inflight
@@ -200,6 +207,11 @@ func (r *Runner) configFor(s Spec) (sim.Config, error) {
 		System: s.System, Scheme: s.Scheme, Benchmark: b,
 		MemOpsPerThread: r.MemOps, LookaheadX: s.X, PowerDown: s.PowerDown,
 		Seed: r.seedFor(s),
+	}
+	if r.Metrics != nil {
+		// Deliberately not part of runKeyOf: observability never changes a
+		// result, and the registry is shared across every cell.
+		cfg.Obs = &obs.Obs{Metrics: r.Metrics}
 	}
 	if s.reliability() {
 		cfg.Fault = fault.Config{BER: s.BER}

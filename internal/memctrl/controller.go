@@ -176,6 +176,17 @@ type Controller struct {
 	bankStamp int64   // current stamp; bumped once per pass
 	id        int     // channel index, for trace output
 
+	// la and colBlk are per-issue scratch, hoisted so the Lookahead box
+	// and the transferred cache line never escape to the heap (the column
+	// path is alloc-free; see TestTickSteadyStateZeroAllocObsDisabled).
+	la     lookahead
+	colBlk bitblock.Block
+
+	// obs, when non-nil, carries the observability handles and the
+	// idle-window run tracker. Nil keeps every instrumented site on a
+	// single-branch zero-allocation path (see SetObs in obs.go).
+	obs *ctrlObs
+
 	consecFail int  // consecutive link failures, channel-wide (storm guard)
 	inStorm    bool // currently past the storm threshold
 }
@@ -183,8 +194,12 @@ type Controller struct {
 // SetID labels the controller's trace lines with its channel index.
 func (c *Controller) SetID(id int) { c.id = id }
 
-// traceCmd logs one issued command when tracing is enabled.
+// traceCmd records one issued command with the enabled trace sinks: an
+// instant on the obs command track, and a line on the text trace writer.
 func (c *Controller) traceCmd(now int64, cmd dram.Command, extra string) {
+	if c.obs != nil {
+		c.obs.traceIssue(now, cmd)
+	}
 	if c.cfg.Trace == nil {
 		return
 	}
@@ -259,6 +274,9 @@ func (c *Controller) Enqueue(req *Request, now int64) bool {
 		}
 		req.Arrive = now
 		c.wq = append(c.wq, req)
+		if c.obs != nil {
+			c.obs.wqPeak.Max(int64(len(c.wq)))
+		}
 		return true
 	}
 	for _, w := range c.wq {
@@ -289,6 +307,9 @@ func (c *Controller) Enqueue(req *Request, now int64) bool {
 	}
 	req.Arrive = now
 	c.rq = append(c.rq, req)
+	if c.obs != nil {
+		c.obs.rqPeak.Max(int64(len(c.rq)))
+	}
 	return true
 }
 
@@ -404,6 +425,9 @@ func (c *Controller) powerDownTick(now int64) bool {
 				pd.wakeAt = now + int64(c.cfg.PowerDown.XP)
 				pd.idleSince = -1
 				c.stats.PowerDownExits++
+				if c.obs != nil {
+					c.obs.pdExits.Inc()
+				}
 			}
 			continue
 		}
@@ -438,6 +462,9 @@ func (c *Controller) powerDownTick(now int64) bool {
 		}
 		pd.down = true
 		c.stats.PowerDownCycles++
+		if c.obs != nil {
+			c.obs.pdEntries.Inc()
+		}
 	}
 	return false
 }
@@ -674,7 +701,8 @@ func (c *Controller) issueColumn(req *Request, idx int, write bool, now int64) {
 	if write {
 		dataPtr = &req.Data
 	}
-	codec := c.policy.Choose(write, dataPtr, lookahead{c: c, now: now})
+	c.la = lookahead{c: c, now: now}
+	codec := c.policy.Choose(write, dataPtr, &c.la)
 
 	kind := dram.RD
 	extraBeats := 0
@@ -688,14 +716,23 @@ func (c *Controller) issueColumn(req *Request, idx int, write bool, now int64) {
 	}
 	info := c.ch.Issue(cmd, now)
 
-	var blk bitblock.Block
+	blk := &c.colBlk
 	if write {
-		blk = req.Data
+		*blk = req.Data
 	} else {
-		blk = c.mem.ReadLine(req.Line)
+		*blk = c.mem.ReadLine(req.Line)
 	}
-	res := c.phy.Transmit(codec, &blk, write)
-	c.traceCmd(now, cmd, fmt.Sprintf("codec=%s zeros=%d", codec.Name(), res.Zeros))
+	res := c.phy.Transmit(codec, blk, write)
+	// The codec annotation is built lazily: the Sprintf must not run (or
+	// allocate) on untraced runs.
+	if c.cfg.Trace != nil {
+		c.traceCmd(now, cmd, fmt.Sprintf("codec=%s zeros=%d", codec.Name(), res.Zeros))
+	} else if c.obs != nil {
+		c.obs.traceIssue(now, cmd)
+	}
+	if c.obs != nil {
+		c.obs.traceBurst(info.Window, codec.Name(), res.Beats, res.Zeros)
+	}
 
 	c.stats.Zeros += int64(res.Zeros)
 	c.stats.CostUnits += int64(res.CostUnits)
@@ -786,6 +823,9 @@ func (c *Controller) handleFailure(req *Request, idx int, write bool, res *PhyRe
 		// completes so the core is not wedged; the data is lost (stale
 		// memory for writes), which RetriesExhausted makes visible.
 		c.stats.RetriesExhausted++
+		if c.obs != nil {
+			c.obs.retryExhausted.Inc()
+		}
 		if write {
 			c.stats.WritesCompleted++
 			c.wq = removeAt(c.wq, idx)
@@ -811,6 +851,9 @@ func (c *Controller) handleFailure(req *Request, idx int, write bool, res *PhyRe
 	}
 	req.retries++
 	req.retryAt = detectAt + backoff
+	if c.obs != nil {
+		c.obs.retryReplays.Inc()
+	}
 	if write {
 		c.stats.WriteRetries++
 	} else {
@@ -833,6 +876,13 @@ func (c *Controller) classify(now int64) {
 		}
 	}
 	c.activeBurst = kept
+	if c.obs != nil {
+		if busy {
+			c.obs.busyAt(now)
+		} else {
+			c.obs.idleAt(now)
+		}
+	}
 	switch {
 	case busy:
 		// counted via BurstBeats/BusyCycles already; nothing extra here

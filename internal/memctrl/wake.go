@@ -36,10 +36,19 @@ const wakeScanAfter = 16
 
 func (c *Controller) NextWake() int64 {
 	if c.acted || c.idleRun < wakeScanAfter {
+		if c.obs != nil {
+			c.obs.wakeFastpath.Inc()
+		}
 		return c.now + 1
 	}
 	if c.wakeValid && c.wake > c.now {
+		if c.obs != nil {
+			c.obs.wakeMemoized.Inc()
+		}
 		return c.wake
+	}
+	if c.obs != nil {
+		c.obs.wakeFullScan.Inc()
 	}
 	w := sched.Never
 	for i := range c.inflight {
@@ -259,16 +268,31 @@ func (c *Controller) SkipUntil(to int64) {
 	// (Start <= t < End); windows fully past by `to` are pruned exactly as
 	// classify would have pruned them.
 	var busy int64
+	cur := c.now + 1 // idle-window cursor for the obs run tracker
 	kept := c.activeBurst[:0]
 	for _, wdw := range c.activeBurst {
 		lo := max(wdw.Start, c.now+1)
 		hi := min(wdw.End-1, to)
 		if hi >= lo {
 			busy += hi - lo + 1
+			// Mirror the per-cycle classification for the idle-window
+			// tracker: windows are non-overlapping and issue-ordered
+			// (dram.Channel serializes the bus), so walking them in order
+			// with a cursor visits each skipped cycle exactly once.
+			if c.obs != nil {
+				if lo > cur {
+					c.obs.idleAt(cur)
+				}
+				c.obs.busyAt(lo)
+			}
+			cur = hi + 1
 		}
 		if wdw.End > to {
 			kept = append(kept, wdw)
 		}
+	}
+	if c.obs != nil && cur <= to {
+		c.obs.idleAt(cur)
 	}
 	c.activeBurst = kept
 	idle := n - busy

@@ -6,6 +6,7 @@ import (
 	"mil/internal/bitblock"
 	"mil/internal/code"
 	"mil/internal/memctrl"
+	"mil/internal/obs"
 )
 
 // Degrader wraps the MiL policy with a graceful-degradation ladder for
@@ -39,6 +40,19 @@ type Degrader struct {
 
 	demotions  int64
 	promotions int64
+
+	// transitions, when attached via SetObs, counts ladder moves in either
+	// direction. Nil is a no-op.
+	transitions *obs.Counter
+}
+
+// SetObs attaches the observability layer. Nil-safe: a disabled Obs
+// leaves the degrader on its zero-cost path.
+func (d *Degrader) SetObs(o *obs.Obs) {
+	if !o.Enabled() {
+		return
+	}
+	d.transitions = o.Counter("degrade_transitions_total")
 }
 
 // DegraderOption configures a Degrader.
@@ -133,6 +147,7 @@ func (d *Degrader) RecordBurst(codec string, write, failed bool) {
 		if d.failures >= d.demote && d.level < len(d.ladder) {
 			d.level++
 			d.demotions++
+			d.transitions.Inc()
 			d.bursts, d.failures = 0, 0
 		}
 	} else {
@@ -140,6 +155,7 @@ func (d *Degrader) RecordBurst(codec string, write, failed bool) {
 		if d.clean >= d.promote && d.level > 0 {
 			d.level--
 			d.promotions++
+			d.transitions.Inc()
 			d.clean = 0
 			d.bursts, d.failures = 0, 0
 		}

@@ -1,0 +1,57 @@
+package obs
+
+// Obs bundles the two observability sinks a simulation can feed: the
+// metrics registry and the command/bus trace. Either (or both) may be
+// nil; components must treat a nil *Obs exactly like a fully-nil one.
+// Components resolve their handles from Obs once at construction and
+// keep a single nil-checked pointer on the hot path, so a disabled run
+// pays one branch and zero allocations.
+type Obs struct {
+	Metrics *Registry
+	Trace   *Trace
+}
+
+// Enabled reports whether any sink is attached.
+func (o *Obs) Enabled() bool {
+	return o != nil && (o.Metrics != nil || o.Trace != nil)
+}
+
+// Counter resolves a counter handle, nil-safe on a nil *Obs.
+func (o *Obs) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Counter(name)
+}
+
+// Gauge resolves a gauge handle, nil-safe on a nil *Obs.
+func (o *Obs) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Gauge(name)
+}
+
+// Hist resolves a histogram handle, nil-safe on a nil *Obs.
+func (o *Obs) Hist(name string, edges ...int64) *Hist {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Hist(name, edges...)
+}
+
+// NewTrack registers a trace track, nil-safe on a nil *Obs (returns a
+// nil no-op track).
+func (o *Obs) NewTrack(name string, scale int64) *Track {
+	if o == nil {
+		return nil
+	}
+	return o.Trace.NewTrack(name, scale)
+}
+
+// IdleWindowEdges are the bucket edges (in DRAM cycles) for the
+// data-bus idle-window-length histogram — the direct measurement of the
+// Figure-5 opportunity MiL exploits. Windows shorter than a burst
+// (<= 8 cycles at BL16) are unusable; the paper's schemes need 2–8
+// extra bus cycles per burst.
+var IdleWindowEdges = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter value = %d, want 42", got)
+	}
+	if again := r.Counter("c"); again != c {
+		t.Fatalf("second Counter lookup returned a different handle")
+	}
+
+	g := r.Gauge("g")
+	g.Max(5)
+	g.Max(3) // lower sample must not regress the maximum
+	g.Max(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("gauge value = %d, want 9", got)
+	}
+}
+
+func TestHistBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Hist("h", 1, 4, 16)
+	for _, v := range []int64{0, 1, 2, 4, 5, 16, 17, 1000} {
+		h.Add(v)
+	}
+	// v <= edge lands in the first matching bucket: {0,1} -> le<=1,
+	// {2,4} -> le<=4, {5,16} -> le<=16, {17,1000} -> overflow.
+	want := []int64{2, 2, 2, 2}
+	for i, w := range want {
+		if got := h.Bucket(i); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d, want 8", h.Count())
+	}
+	if h.Sum() != 0+1+2+4+5+16+17+1000 {
+		t.Errorf("sum = %d, want %d", h.Sum(), 0+1+2+4+5+16+17+1000)
+	}
+	// First registration wins; a later call with different edges returns
+	// the same histogram.
+	if again := r.Hist("h", 2, 3); again != h {
+		t.Fatalf("second Hist lookup returned a different handle")
+	}
+}
+
+func TestHistRejectsBadEdges(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("non-increasing edges did not panic")
+		}
+	}()
+	NewRegistry().Hist("bad", 4, 4)
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c, g, h := r.Counter("x"), r.Gauge("x"), r.Hist("x", 1)
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry handed out non-nil handles")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Max(7)
+	h.Add(9)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Bucket(0) != 0 {
+		t.Fatalf("nil handles recorded state")
+	}
+	if err := r.WriteCSV(&strings.Builder{}); err != nil {
+		t.Fatalf("nil registry WriteCSV: %v", err)
+	}
+
+	var o *Obs
+	if o.Enabled() {
+		t.Fatalf("nil Obs reports Enabled")
+	}
+	o.Counter("x").Inc()
+	o.Gauge("x").Max(1)
+	o.Hist("x", 1).Add(1)
+	o.NewTrack("x", 1).Instant("e", 0, Args{})
+}
+
+func TestNilHandlesZeroAlloc(t *testing.T) {
+	var (
+		c *Counter
+		g *Gauge
+		h *Hist
+		k *Track
+	)
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(2)
+		g.Max(3)
+		h.Add(4)
+		k.Instant("e", 1, Args{})
+		k.Slice("s", 1, 2, Args{})
+	}); n != 0 {
+		t.Fatalf("nil handles allocate: %v allocs/op, want 0", n)
+	}
+}
+
+func TestLiveHandlesZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Hist("h", 1, 2, 4)
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Max(5)
+		h.Add(3)
+	}); n != 0 {
+		t.Fatalf("recording through resolved handles allocates: %v allocs/op, want 0", n)
+	}
+}
+
+func TestWriteCSVDeterministic(t *testing.T) {
+	r := NewRegistry()
+	// Register out of order; the snapshot must sort by kind then name.
+	r.Counter("zeta").Add(2)
+	r.Counter("alpha").Add(1)
+	r.Gauge("peak").Max(7)
+	h := r.Hist("win", 1, 4)
+	h.Add(1)
+	h.Add(3)
+	h.Add(99)
+
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"kind,name,field,value",
+		"counter,alpha,,1",
+		"counter,zeta,,2",
+		"gauge,peak,,7",
+		"hist,win,le<=1,1",
+		"hist,win,le<=4,1",
+		"hist,win,le<=+Inf,1",
+		"hist,win,count,3",
+		"hist,win,sum,103",
+		"",
+	}, "\n")
+	if sb.String() != want {
+		t.Errorf("CSV snapshot mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+// TestConcurrentRecordingCommutes drives the registry from many
+// goroutines and checks the totals are exact: counter adds, histogram
+// buckets, and gauge maxima all commute, which is what makes experiment
+// metrics byte-identical at any -j.
+func TestConcurrentRecordingCommutes(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("c")
+			g := r.Gauge("g")
+			h := r.Hist("h", 10, 100)
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Max(int64(w*per + i))
+				h.Add(int64(i % 150))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("g").Value(); got != workers*per-1 {
+		t.Errorf("gauge = %d, want %d", got, workers*per-1)
+	}
+	if got := r.Hist("h", 10, 100).Count(); got != workers*per {
+		t.Errorf("hist count = %d, want %d", got, workers*per)
+	}
+}

@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Trace is a bounded in-memory recorder of timeline events, exported as
+// Chrome trace-event JSON (the format Perfetto and chrome://tracing
+// load). Producers record through *Track handles — one track per
+// conceptual timeline (a channel's command stream, its data bus, the
+// event core) — with timestamps in their own clock domain; each track
+// carries a scale converting its ticks to CPU cycles, and the exporter
+// converts CPU cycles to wall time with the timebase set by the driver.
+//
+// A nil *Trace (and the nil *Track it hands out) is a valid no-op, so
+// tracing shares the zero-cost-when-disabled discipline of the registry.
+// The recorder is NOT safe for concurrent producers: tracing is a
+// single-simulation, single-worker affair (milsim forces -j 1).
+type Trace struct {
+	cap     int
+	dropped int64
+	tracks  []*Track
+	names   []string
+	events  []traceEvent
+	// nsPerCPUCycle converts CPU cycles to nanoseconds on export.
+	nsPerCPUCycle float64
+}
+
+// Phase bytes from the trace-event format: complete slices and instants.
+const (
+	phaseSlice   = 'X'
+	phaseInstant = 'i'
+)
+
+type traceEvent struct {
+	tid  int32
+	ph   byte
+	ts   int64 // CPU cycles
+	dur  int64 // CPU cycles, slices only
+	name string
+	args Args
+}
+
+// Args are the structured annotations attached to a trace event. The
+// zero value emits no args object. Fields are split into groups with
+// presence flags so the exporter can keep the JSON minimal.
+type Args struct {
+	// DRAM command location (HasLoc).
+	HasLoc bool
+	Rank   int32
+	Group  int32
+	Bank   int32
+	Row    int32
+	// Data-burst annotations (HasData).
+	HasData bool
+	Beats   int32
+	Zeros   int32
+	Codec   string
+}
+
+// Track is a named timeline within a trace. Events recorded through a
+// track are stamped with its thread id and scaled from the producer's
+// clock domain into CPU cycles.
+type Track struct {
+	tr    *Trace
+	tid   int32
+	scale int64
+}
+
+// NewTrace returns a recorder that keeps at most capEvents events;
+// further events are counted as dropped rather than recorded, so a
+// runaway simulation cannot exhaust memory. capEvents <= 0 selects a
+// default of 1<<20.
+func NewTrace(capEvents int) *Trace {
+	if capEvents <= 0 {
+		capEvents = 1 << 20
+	}
+	return &Trace{cap: capEvents, nsPerCPUCycle: 1}
+}
+
+// SetTimebase sets the wall-time duration of one CPU cycle, used on
+// export. Defaults to 1ns per cycle.
+func (t *Trace) SetTimebase(nsPerCPUCycle float64) {
+	if t == nil || nsPerCPUCycle <= 0 {
+		return
+	}
+	t.nsPerCPUCycle = nsPerCPUCycle
+}
+
+// NewTrack registers a timeline. scale is the number of CPU cycles per
+// tick of the producer's clock (1 for CPU-domain producers, 2 for
+// DRAM-domain producers under the standard 2:1 clock). Returns nil on a
+// nil trace. Tracks are displayed in registration order.
+func (t *Trace) NewTrack(name string, scale int64) *Track {
+	if t == nil {
+		return nil
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	tk := &Track{tr: t, tid: int32(len(t.tracks) + 1), scale: scale}
+	t.tracks = append(t.tracks, tk)
+	t.names = append(t.names, name)
+	return tk
+}
+
+// Dropped reports how many events were discarded after the recorder
+// filled (0 on a nil trace).
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Len reports the number of recorded events (0 on a nil trace).
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+func (t *Trace) record(ev traceEvent) {
+	if len(t.events) >= t.cap {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Instant records a point event at tick ts of the track's clock.
+func (k *Track) Instant(name string, ts int64, args Args) {
+	if k == nil {
+		return
+	}
+	k.tr.record(traceEvent{tid: k.tid, ph: phaseInstant, ts: ts * k.scale, name: name, args: args})
+}
+
+// Slice records a duration event covering ticks [start, end) of the
+// track's clock. Empty and inverted spans are ignored.
+func (k *Track) Slice(name string, start, end int64, args Args) {
+	if k == nil || end <= start {
+		return
+	}
+	k.tr.record(traceEvent{tid: k.tid, ph: phaseSlice, ts: start * k.scale, dur: (end - start) * k.scale, name: name, args: args})
+}
+
+// WriteJSON writes the trace in Chrome trace-event JSON object format:
+// a metadata thread_name/thread_sort_index pair per track followed by
+// the recorded events, timestamps in microseconds. Perfetto and
+// chrome://tracing both load the output directly. Output is
+// deterministic: field order is fixed and floats are formatted with
+// three fractional digits (nanosecond resolution).
+func (t *Trace) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := &errWriter{w: w}
+	bw.str(`{"displayTimeUnit":"ns","traceEvents":[`)
+	first := true
+	sep := func() {
+		if !first {
+			bw.str(",")
+		}
+		first = false
+	}
+	for i, tk := range t.tracks {
+		sep()
+		bw.str(`{"ph":"M","pid":1,"tid":`)
+		bw.int(int64(tk.tid))
+		bw.str(`,"name":"thread_name","args":{"name":`)
+		bw.quoted(t.names[i])
+		bw.str(`}}`)
+		sep()
+		bw.str(`{"ph":"M","pid":1,"tid":`)
+		bw.int(int64(tk.tid))
+		bw.str(`,"name":"thread_sort_index","args":{"sort_index":`)
+		bw.int(int64(tk.tid))
+		bw.str(`}}`)
+	}
+	for i := range t.events {
+		ev := &t.events[i]
+		sep()
+		bw.str(`{"ph":"`)
+		bw.w.Write([]byte{ev.ph})
+		bw.str(`","pid":1,"tid":`)
+		bw.int(int64(ev.tid))
+		bw.str(`,"ts":`)
+		bw.us(ev.ts, t.nsPerCPUCycle)
+		if ev.ph == phaseSlice {
+			bw.str(`,"dur":`)
+			bw.us(ev.dur, t.nsPerCPUCycle)
+		}
+		if ev.ph == phaseInstant {
+			bw.str(`,"s":"t"`)
+		}
+		bw.str(`,"name":`)
+		bw.quoted(ev.name)
+		if ev.args.HasLoc || ev.args.HasData {
+			bw.str(`,"args":{`)
+			afirst := true
+			field := func(name string, v int64) {
+				if !afirst {
+					bw.str(",")
+				}
+				afirst = false
+				bw.str(`"`)
+				bw.str(name)
+				bw.str(`":`)
+				bw.int(v)
+			}
+			if ev.args.HasLoc {
+				field("rank", int64(ev.args.Rank))
+				field("group", int64(ev.args.Group))
+				field("bank", int64(ev.args.Bank))
+				field("row", int64(ev.args.Row))
+			}
+			if ev.args.HasData {
+				field("beats", int64(ev.args.Beats))
+				field("zeros", int64(ev.args.Zeros))
+				if ev.args.Codec != "" {
+					bw.str(`,"codec":`)
+					bw.quoted(ev.args.Codec)
+				}
+			}
+			bw.str("}")
+		}
+		bw.str("}")
+	}
+	bw.str("]")
+	if t.dropped > 0 {
+		bw.str(`,"milsimDroppedEvents":`)
+		bw.int(t.dropped)
+	}
+	bw.str("}\n")
+	return bw.err
+}
+
+// errWriter concentrates error handling for the hand-rolled exporter.
+type errWriter struct {
+	w   io.Writer
+	err error
+	buf [32]byte
+}
+
+func (e *errWriter) str(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}
+
+func (e *errWriter) int(v int64) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(strconv.AppendInt(e.buf[:0], v, 10))
+}
+
+// us writes a CPU-cycle timestamp as microseconds with fixed
+// three-digit precision.
+func (e *errWriter) us(cycles int64, nsPerCycle float64) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(strconv.AppendFloat(e.buf[:0], float64(cycles)*nsPerCycle/1000, 'f', 3, 64))
+}
+
+func (e *errWriter) quoted(s string) {
+	if e.err != nil {
+		return
+	}
+	// Track and event names are simple identifiers; fall back to fmt for
+	// anything that needs escaping.
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' || s[i] == '\\' || s[i] < 0x20 {
+			_, e.err = io.WriteString(e.w, fmt.Sprintf("%q", s))
+			return
+		}
+	}
+	e.str(`"`)
+	e.str(s)
+	e.str(`"`)
+}

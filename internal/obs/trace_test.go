@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeTrace round-trips the exporter's output through encoding/json,
+// which is the library Perfetto-compatible consumers agree with: if this
+// parses, the hand-rolled writer produced valid JSON.
+func decodeTrace(t *testing.T, tr *Trace) map[string]any {
+	t.Helper()
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("exporter produced invalid JSON: %v\n%s", err, sb.String())
+	}
+	return doc
+}
+
+func events(t *testing.T, doc map[string]any) []map[string]any {
+	t.Helper()
+	raw, ok := doc["traceEvents"].([]any)
+	if !ok {
+		t.Fatalf("traceEvents missing or not an array: %v", doc["traceEvents"])
+	}
+	out := make([]map[string]any, len(raw))
+	for i, e := range raw {
+		out[i] = e.(map[string]any)
+	}
+	return out
+}
+
+func TestTraceJSONShape(t *testing.T) {
+	tr := NewTrace(16)
+	tr.SetTimebase(2) // 2ns per CPU cycle
+	cmd := tr.NewTrack("ch0 cmd", 2)
+	bus := tr.NewTrack("ch0 bus", 2)
+	cmd.Instant("RD", 10, Args{HasLoc: true, Rank: 1, Group: 2, Bank: 3, Row: 77})
+	bus.Slice("burst", 10, 18, Args{HasData: true, Beats: 8, Zeros: 3, Codec: "mil"})
+	bus.Slice("idle", 18, 50, Args{})
+
+	doc := decodeTrace(t, tr)
+	if doc["displayTimeUnit"] != "ns" {
+		t.Errorf("displayTimeUnit = %v, want ns", doc["displayTimeUnit"])
+	}
+	evs := events(t, doc)
+	// Two metadata records per track, then the three events.
+	if len(evs) != 4+3 {
+		t.Fatalf("got %d events, want 7", len(evs))
+	}
+	meta := evs[0]
+	if meta["ph"] != "M" || meta["name"] != "thread_name" {
+		t.Errorf("first record is not a thread_name metadata event: %v", meta)
+	}
+	if name := meta["args"].(map[string]any)["name"]; name != "ch0 cmd" {
+		t.Errorf("track name = %v, want ch0 cmd", name)
+	}
+
+	inst := evs[4]
+	if inst["ph"] != "i" || inst["s"] != "t" {
+		t.Errorf("instant missing thread scope: %v", inst)
+	}
+	// DRAM tick 10 at scale 2 = CPU cycle 20 = 40ns = 0.040us.
+	if ts := inst["ts"].(float64); ts != 0.040 {
+		t.Errorf("instant ts = %v us, want 0.040", ts)
+	}
+	args := inst["args"].(map[string]any)
+	if args["rank"] != 1.0 || args["group"] != 2.0 || args["bank"] != 3.0 || args["row"] != 77.0 {
+		t.Errorf("command location args = %v", args)
+	}
+
+	slice := evs[5]
+	if slice["ph"] != "X" {
+		t.Errorf("slice ph = %v, want X", slice["ph"])
+	}
+	if dur := slice["dur"].(float64); dur != 0.032 { // 8 DRAM ticks * 2 * 2ns
+		t.Errorf("slice dur = %v us, want 0.032", dur)
+	}
+	sargs := slice["args"].(map[string]any)
+	if sargs["beats"] != 8.0 || sargs["zeros"] != 3.0 || sargs["codec"] != "mil" {
+		t.Errorf("burst args = %v", sargs)
+	}
+	if _, ok := evs[6]["args"]; ok {
+		t.Errorf("zero-value Args emitted an args object: %v", evs[6])
+	}
+}
+
+func TestTraceBounded(t *testing.T) {
+	tr := NewTrace(4)
+	k := tr.NewTrack("t", 1)
+	for i := int64(0); i < 10; i++ {
+		k.Instant("e", i, Args{})
+	}
+	if tr.Len() != 4 {
+		t.Errorf("recorded %d events, want cap 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", tr.Dropped())
+	}
+	doc := decodeTrace(t, tr)
+	if got := doc["milsimDroppedEvents"].(float64); got != 6 {
+		t.Errorf("milsimDroppedEvents = %v, want 6", got)
+	}
+}
+
+func TestTraceNameEscaping(t *testing.T) {
+	tr := NewTrace(4)
+	k := tr.NewTrack("quote\"back\\slash", 1)
+	k.Instant("tab\there", 0, Args{})
+	doc := decodeTrace(t, tr)
+	evs := events(t, doc)
+	if name := evs[0]["args"].(map[string]any)["name"]; name != "quote\"back\\slash" {
+		t.Errorf("track name did not round-trip: %v", name)
+	}
+	if name := evs[2]["name"]; name != "tab\there" {
+		t.Errorf("event name did not round-trip: %v", name)
+	}
+}
+
+func TestTraceIgnoresEmptySlices(t *testing.T) {
+	tr := NewTrace(4)
+	k := tr.NewTrack("t", 1)
+	k.Slice("empty", 5, 5, Args{})
+	k.Slice("inverted", 5, 3, Args{})
+	if tr.Len() != 0 {
+		t.Errorf("degenerate slices were recorded: %d events", tr.Len())
+	}
+}
+
+func TestNilTraceNoOps(t *testing.T) {
+	var tr *Trace
+	tr.SetTimebase(2)
+	k := tr.NewTrack("t", 1)
+	if k != nil {
+		t.Fatalf("nil trace handed out a non-nil track")
+	}
+	k.Instant("e", 0, Args{})
+	k.Slice("s", 0, 1, Args{})
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatalf("nil trace recorded state")
+	}
+	if err := tr.WriteJSON(&strings.Builder{}); err != nil {
+		t.Fatalf("nil trace WriteJSON: %v", err)
+	}
+}

@@ -10,9 +10,12 @@
 // state - the only package-level variables anywhere are init-time constant
 // tables - and Run builds a private instance of every model it ticks.
 // Config is a plain value, safely copyable; the pointers it carries
-// (Benchmark, Trace) are the caller's to share or not. A *workload.Benchmark
-// may feed concurrent runs (its lazy layout memoization is synchronized),
-// but a Trace writer shared between runs will interleave lines. Identical
+// (Benchmark, Trace, Obs) are the caller's to share or not. A
+// *workload.Benchmark may feed concurrent runs (its lazy layout memoization
+// is synchronized), and an Obs metrics registry may too (every update is an
+// atomic, commutative integer operation), but a Trace writer shared between
+// runs will interleave lines and an Obs trace recorder is single-run
+// only. Identical
 // Configs produce bit-identical Results regardless of how many runs execute
 // concurrently: every stochastic path is seeded from Config alone.
 package sim

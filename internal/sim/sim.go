@@ -10,6 +10,8 @@ import (
 	"mil/internal/energy"
 	"mil/internal/fault"
 	"mil/internal/memctrl"
+	"mil/internal/milcore"
+	"mil/internal/obs"
 	"mil/internal/sched"
 	"mil/internal/workload"
 )
@@ -33,6 +35,11 @@ type Config struct {
 	PowerDown bool
 	// Trace, when non-nil, receives one line per issued DRAM command.
 	Trace io.Writer
+	// Obs, when non-nil, attaches the observability layer (metrics
+	// registry and/or Perfetto trace; see internal/obs). The registry may
+	// be shared across runs — all its updates commute — but a trace
+	// recorder must belong to a single run. Nil costs nothing.
+	Obs *obs.Obs
 
 	// Fault injects link errors into every channel's data bus; the zero
 	// value is a reliable link and the whole fault path is a no-op.
@@ -90,11 +97,16 @@ const DefaultMemOps = 6000
 // LoopStats describes how the main loop covered the simulated timeline.
 // It lives outside Mem/Cache because it measures the simulator, not the
 // simulated machine: the two loop modes must agree on every model
-// statistic while reporting different loop counters.
+// statistic while reporting loop counters of their own.
+//
+// Both loop modes report the same semantics, counted by the same
+// sched.EventClock: EventsFired is the number of CPU cycles the loop
+// landed on and actually simulated, CyclesSkipped the number of cycles
+// proven no-ops and jumped over, and EventsFired + CyclesSkipped ==
+// Result.CPUCycles always holds. The steplock reference loop lands on
+// every cycle, so it reports EventsFired == CPUCycles and CyclesSkipped
+// == 0. TestLoopStatsSemantics holds both modes to this contract.
 type LoopStats struct {
-	// EventsFired counts CPU cycles the loop actually simulated;
-	// CyclesSkipped counts cycles proven no-ops and jumped over.
-	// EventsFired + CyclesSkipped == CPUCycles.
 	EventsFired   int64
 	CyclesSkipped int64
 	// Steplock records that the per-cycle reference loop produced the run.
@@ -325,6 +337,25 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	// Observability: attach the (possibly nil) obs layer to every domain.
+	// Track registration order fixes the Perfetto display order: the event
+	// core first, then each channel's command and bus timelines.
+	var evTrack *obs.Track
+	if cfg.Obs.Enabled() {
+		if cfg.Obs.Trace != nil {
+			// CPU cycle length in wall time: the CPU clock runs at 2x the
+			// DRAM clock on both platforms.
+			cfg.Obs.Trace.SetTimebase(plat.dram.ClockNS / 2)
+		}
+		evTrack = cfg.Obs.NewTrack("event core", 1)
+		memSys.SetObs(cfg.Obs)
+		hier.SetObs(cfg.Obs)
+		proc.SetObs(cfg.Obs)
+		if d, ok := policy.(*milcore.Degrader); ok {
+			d.SetObs(cfg.Obs)
+		}
+	}
+
 	// Main loop. The CPU clock runs at 2x the DRAM clock on both platforms
 	// (3.2GHz/1.6GHz and 1.6GHz/0.8GHz); the DRAM domain ticks on even CPU
 	// cycles. Two interchangeable loops cover the timeline:
@@ -339,8 +370,13 @@ func Run(cfg Config) (*Result, error) {
 	// steplock_test.go hold them to that).
 	var cpuNow int64
 	var loop LoopStats
+	// Both loops report LoopStats through the same sched.EventClock so the
+	// counters carry identical semantics (see LoopStats): the steplock
+	// loop lands every cycle, the event loop only the woken ones.
+	ev := sched.NewEventClock()
 	if cfg.Steplock {
 		for {
+			ev.Advance(cpuNow)
 			if cpuNow%2 == 0 {
 				port.dramNow = cpuNow / 2
 				memSys.Tick(port.dramNow)
@@ -356,12 +392,12 @@ func Run(cfg Config) (*Result, error) {
 					cfg.System, cfg.Scheme, cfg.Benchmark.Name, maxCycles)
 			}
 		}
-		loop = LoopStats{EventsFired: cpuNow + 1, Steplock: true}
+		loop = LoopStats{EventsFired: ev.Events, CyclesSkipped: ev.Skipped, Steplock: true}
 	} else {
 		clock := sched.Clock{CPUPerDRAM: 2}
-		ev := sched.NewEventClock()
 		for {
 			ev.Advance(cpuNow)
+			evTrack.Instant("fire", cpuNow, obs.Args{})
 			// Stall accounting for the skipped window first: the fills the
 			// DRAM tick delivers below unblock threads, and the reference
 			// loop had them blocked for the whole window.
@@ -391,6 +427,9 @@ func Run(cfg Config) (*Result, error) {
 			if next <= cpuNow {
 				next = cpuNow + 1
 			}
+			if next > cpuNow+1 {
+				evTrack.Slice("skip", cpuNow+1, next, obs.Args{})
+			}
 			cpuNow = next
 			if cpuNow > maxCycles {
 				return nil, fmt.Errorf("sim: %s/%s/%s exceeded %d CPU cycles",
@@ -402,11 +441,23 @@ func Run(cfg Config) (*Result, error) {
 
 	dramCycles := cpuNow/2 + 1
 	seconds := float64(dramCycles) * plat.dram.ClockNS * 1e-9
+	memSys.FlushObs() // close the trailing idle-window run
 	stats := memSys.Stats()
 
 	breakdown, err := energy.DRAMEnergy(plat.power, plat.dram, plat.channels, stats, dramCycles)
 	if err != nil {
 		return nil, err
+	}
+	cpuJ := energy.CPUEnergy(plat.cpuPower, seconds, proc.Retired)
+	retryJ := energy.RetryEnergyJ(plat.power, stats)
+	if cfg.Obs.Enabled() {
+		o := cfg.Obs
+		o.Counter("sim_runs_total").Inc()
+		o.Counter("sim_cpu_cycles_total").Add(cpuNow + 1)
+		o.Counter("sim_dram_cycles_total").Add(dramCycles)
+		o.Counter("loop_events_fired_total").Add(ev.Events)
+		o.Counter("loop_cycles_skipped_total").Add(ev.Skipped)
+		energy.RecordMetrics(o, breakdown, cpuJ, retryJ)
 	}
 	return &Result{
 		System:       cfg.System,
@@ -420,7 +471,7 @@ func Run(cfg Config) (*Result, error) {
 		Cache:        hier.Stats(),
 		Loop:         loop,
 		DRAM:         breakdown,
-		CPUJ:         energy.CPUEnergy(plat.cpuPower, seconds, proc.Retired),
-		RetryJ:       energy.RetryEnergyJ(plat.power, stats),
+		CPUJ:         cpuJ,
+		RetryJ:       retryJ,
 	}, nil
 }
