@@ -70,11 +70,13 @@ profile:
 	$(GO) tool pprof -top -cum -nodecount=10 prof/cpu.pprof
 
 # Re-bless the golden snapshots after an intentional model change: the
-# experiment tables (internal/experiments/testdata/golden/) and the
-# observability artifacts (internal/sim/testdata/obs/). Review the diffs.
+# experiment tables (internal/experiments/testdata/golden/), the
+# observability artifacts (internal/sim/testdata/obs/), and the
+# checkpoint-format golden (internal/sim/testdata/snap/). Review the
+# diffs; a checkpoint-golden change also warrants a snap.Version bump.
 golden:
 	$(GO) test ./internal/experiments/ -run TestGolden -update
-	$(GO) test ./internal/sim/ -run TestObsGolden -update
+	$(GO) test ./internal/sim/ -run 'TestObsGolden|TestSnapshotGolden' -update
 
 # Regenerate EXPERIMENTS.md (all figures and tables; slow).
 experiments:

@@ -11,16 +11,28 @@
 // execute on a worker pool -j wide (default GOMAXPROCS). The report is
 // byte-identical for every -j: scheduling never leaks into the tables.
 //
-// -stats appends the sweep's aggregated observability metrics snapshot
-// (internal/obs CSV: counters, gauges, and the bus idle-window histogram,
-// summed over every fresh simulation) to the report destination. The
-// snapshot is byte-identical for every -j too.
+// -stats file writes the sweep's aggregated observability metrics
+// snapshot (internal/obs CSV: counters, gauges, and the bus idle-window
+// histogram, summed over every fresh simulation) to the file, truncating
+// any previous content. The snapshot is byte-identical for every -j too.
+//
+// Long sweeps are crash-safe with -resume file: every completed cell is
+// appended to the JSONL journal as it settles, and rerunning the same
+// command after a crash (or Ctrl-C) replays the journal, skips the
+// finished cells, and simulates only the remainder. The journal keys
+// embed the full run configuration, so a journal written under different
+// flags never matches (and a torn final record from a crash is detected
+// and dropped). -cell-timeout bounds any one simulation's wall-clock
+// time, with capped-backoff retries, so a wedged cell fails instead of
+// wedging the sweep. Artifacts (-out, -stats) are written atomically via
+// a temp file and rename: a crash mid-write never leaves a half-report.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -38,18 +50,32 @@ func main() {
 		progress = flag.Bool("progress", true, "stream per-run progress and timing on stderr")
 		quiet    = flag.Bool("q", false, "shortcut for -progress=false")
 		seed     = flag.Uint64("seed", 0, "base stream seed (0 = legacy benchmark-derived streams)")
-		stats    = flag.Bool("stats", false, "append the aggregated observability metrics snapshot (CSV) to the report")
+		stats    = flag.String("stats", "", "write the aggregated observability metrics snapshot (CSV) to this file (truncated, not appended)")
+		resume   = flag.String("resume", "", "journal completed cells to this file and skip them when rerun (crash-safe sweeps)")
+		timeout  = flag.Duration("cell-timeout", 0, "wall-clock budget per simulation, retried with backoff (0 = unbounded)")
 	)
 	flag.Parse()
 
 	r := experiments.NewRunner(*ops)
 	r.Workers = *workers
 	r.BaseSeed = *seed
-	if *stats {
+	r.CellTimeout = *timeout
+	if *stats != "" {
 		r.Metrics = obs.NewRegistry()
 	}
 	if *progress && !*quiet {
 		r.Progress = os.Stderr
+	}
+	if *resume != "" {
+		replayed, err := r.OpenJournal(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "milexp:", err)
+			os.Exit(1)
+		}
+		defer r.CloseJournal()
+		if replayed > 0 {
+			fmt.Fprintf(os.Stderr, "milexp: resumed %d completed cells from %s\n", replayed, *resume)
+		}
 	}
 
 	start := time.Now()
@@ -68,14 +94,18 @@ func main() {
 		sb.WriteString(t.String())
 		sb.WriteString("\n")
 	}
+
 	if r.Metrics != nil {
-		sb.WriteString("## Observability metrics snapshot\n\n")
-		sb.WriteString("Aggregated over every fresh simulation of this sweep (see DESIGN.md §5.9).\n\n```csv\n")
-		if err := r.Metrics.WriteCSV(&sb); err != nil {
+		var csv strings.Builder
+		if err := r.Metrics.WriteCSV(&csv); err != nil {
 			fmt.Fprintln(os.Stderr, "milexp:", err)
 			os.Exit(1)
 		}
-		sb.WriteString("```\n")
+		if err := writeFileAtomic(*stats, []byte(csv.String())); err != nil {
+			fmt.Fprintln(os.Stderr, "milexp:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "milexp: wrote %s\n", *stats)
 	}
 
 	if r.Progress != nil {
@@ -88,9 +118,38 @@ func main() {
 		fmt.Print(sb.String())
 		return
 	}
-	if err := os.WriteFile(*out, []byte(sb.String()), 0o644); err != nil {
+	if err := writeFileAtomic(*out, []byte(sb.String())); err != nil {
 		fmt.Fprintln(os.Stderr, "milexp:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "milexp: wrote %s\n", *out)
+}
+
+// writeFileAtomic writes data to path via a temp file in the same
+// directory and a rename, so readers (and crashes) never observe a
+// partial artifact.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }

@@ -1,0 +1,230 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"mil/internal/snap"
+)
+
+// Snapshot serializes the array's replacement and coherence state. The
+// geometry (set count, associativity) is not serialized — Restore decodes
+// into an array NewArray already built from the same Config — but it is
+// recorded as a guard so a snapshot cannot silently restore into an array
+// of a different shape.
+func (a *Array) Snapshot(w *snap.Writer) {
+	w.Int(len(a.sets))
+	w.Int(a.ways)
+	w.U64(a.tick)
+	w.I64(a.Hits)
+	w.I64(a.Misses)
+	for _, set := range a.sets {
+		for i := range set {
+			l := &set[i]
+			w.I64(l.tag)
+			w.U8(uint8(l.state))
+			w.Bool(l.dirty)
+			w.Bool(l.prefetch)
+			w.U64(l.lru)
+		}
+	}
+}
+
+// Restore implements snap.Snapshotter.
+func (a *Array) Restore(r *snap.Reader) error {
+	sets, ways := r.Int(), r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if sets != len(a.sets) || ways != a.ways {
+		return fmt.Errorf("cache: snapshot geometry %dx%d, array is %dx%d", sets, ways, len(a.sets), a.ways)
+	}
+	a.tick = r.U64()
+	a.Hits = r.I64()
+	a.Misses = r.I64()
+	for _, set := range a.sets {
+		for i := range set {
+			l := &set[i]
+			l.tag = r.I64()
+			l.state = State(r.U8())
+			l.dirty = r.Bool()
+			l.prefetch = r.Bool()
+			l.lru = r.U64()
+		}
+	}
+	return r.Err()
+}
+
+// Snapshot serializes the stream table and training counters.
+func (p *Prefetcher) Snapshot(w *snap.Writer) {
+	w.Len(len(p.streams))
+	w.U64(p.tick)
+	w.I64(p.Trained)
+	w.I64(p.Issued)
+	for i := range p.streams {
+		s := &p.streams[i]
+		w.Bool(s.valid)
+		w.I64(s.lastLine)
+		w.I64(s.stride)
+		w.Bool(s.confident)
+		w.U64(s.lru)
+	}
+}
+
+// Restore implements snap.Snapshotter.
+func (p *Prefetcher) Restore(r *snap.Reader) error {
+	n := r.Len()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != len(p.streams) {
+		return fmt.Errorf("cache: snapshot has %d prefetch streams, config has %d", n, len(p.streams))
+	}
+	p.tick = r.U64()
+	p.Trained = r.I64()
+	p.Issued = r.I64()
+	for i := range p.streams {
+		s := &p.streams[i]
+		s.valid = r.Bool()
+		s.lastLine = r.I64()
+		s.stride = r.I64()
+		s.confident = r.Bool()
+		s.lru = r.U64()
+	}
+	return r.Err()
+}
+
+// Snapshot serializes the full hierarchy state. MSHR waiter callbacks are
+// closures and cannot be serialized; each waiter instead records its tag
+// (see AccessTagged) plus whether a callback was attached, and Restore
+// re-links callbacks through a caller-supplied resolver. Map contents are
+// written in sorted key order so identical states encode identically.
+func (h *Hierarchy) Snapshot(w *snap.Writer) {
+	for _, l1 := range h.l1 {
+		l1.Snapshot(w)
+	}
+	h.l2.Snapshot(w)
+
+	keys := make([]int64, 0, len(h.sharers))
+	for line := range h.sharers {
+		keys = append(keys, line)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.Len(len(keys))
+	for _, line := range keys {
+		w.I64(line)
+		w.U32(uint32(h.sharers[line]))
+	}
+
+	keys = keys[:0]
+	for line := range h.mshr {
+		keys = append(keys, line)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.Len(len(keys))
+	for _, line := range keys {
+		e := h.mshr[line]
+		w.I64(line)
+		w.Bool(e.issued)
+		w.Bool(e.demand)
+		w.Int(e.stream)
+		w.Len(len(e.waiters))
+		for _, wt := range e.waiters {
+			w.Int(wt.core)
+			w.Bool(wt.write)
+			w.Int(wt.tag)
+			w.Bool(wt.done != nil)
+		}
+	}
+
+	w.I64s(h.retryQ)
+	w.I64s(h.wbQueue)
+	w.Bool(h.pf != nil)
+	if h.pf != nil {
+		h.pf.Snapshot(w)
+	}
+	w.Bool(h.acted)
+
+	s := &h.stats
+	w.I64(s.L1Hits)
+	w.I64(s.L1Misses)
+	w.I64(s.L2Hits)
+	w.I64(s.L2Misses)
+	w.I64(s.MSHRMerges)
+	w.I64(s.PrefetchHits)
+	w.I64(s.Writebacks)
+	w.I64(s.Upgrades)
+	w.I64(s.Interventions)
+	w.I64(s.PrefetchesIssued)
+	w.I64(s.PrefetchesDropped)
+	w.I64(s.BackInvalidations)
+}
+
+// Restore rebuilds the hierarchy from a snapshot. resolve maps a waiter's
+// tag back to its done callback (the CPU passes thread indices; resolve
+// returns that thread's completion function). It is only consulted for
+// waiters that had a callback at snapshot time.
+func (h *Hierarchy) Restore(r *snap.Reader, resolve func(tag int) func()) error {
+	for _, l1 := range h.l1 {
+		if err := l1.Restore(r); err != nil {
+			return err
+		}
+	}
+	if err := h.l2.Restore(r); err != nil {
+		return err
+	}
+
+	ns := r.Len()
+	h.sharers = make(map[int64]uint16, ns)
+	for i := 0; i < ns; i++ {
+		line := r.I64()
+		h.sharers[line] = uint16(r.U32())
+	}
+
+	nm := r.Len()
+	h.mshr = make(map[int64]*mshrEntry, nm)
+	for i := 0; i < nm; i++ {
+		line := r.I64()
+		e := &mshrEntry{issued: r.Bool(), demand: r.Bool(), stream: r.Int()}
+		nw := r.Len()
+		for j := 0; j < nw; j++ {
+			wt := waiter{core: r.Int(), write: r.Bool(), tag: r.Int()}
+			if r.Bool() { // had a callback
+				if wt.tag < 0 {
+					return fmt.Errorf("cache: snapshot waiter for line %d has a callback but no tag", line)
+				}
+				wt.done = resolve(wt.tag)
+			}
+			e.waiters = append(e.waiters, wt)
+		}
+		h.mshr[line] = e
+	}
+
+	h.retryQ = r.I64s()
+	h.wbQueue = r.I64s()
+	hadPF := r.Bool()
+	if hadPF != (h.pf != nil) {
+		return fmt.Errorf("cache: snapshot prefetcher presence %v, config says %v", hadPF, h.pf != nil)
+	}
+	if h.pf != nil {
+		if err := h.pf.Restore(r); err != nil {
+			return err
+		}
+	}
+	h.acted = r.Bool()
+
+	s := &h.stats
+	s.L1Hits = r.I64()
+	s.L1Misses = r.I64()
+	s.L2Hits = r.I64()
+	s.L2Misses = r.I64()
+	s.MSHRMerges = r.I64()
+	s.PrefetchHits = r.I64()
+	s.Writebacks = r.I64()
+	s.Upgrades = r.I64()
+	s.Interventions = r.I64()
+	s.PrefetchesIssued = r.I64()
+	s.PrefetchesDropped = r.I64()
+	s.BackInvalidations = r.I64()
+	return r.Err()
+}

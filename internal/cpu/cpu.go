@@ -198,7 +198,7 @@ func (p *Processor) SkipTo(now int64) {
 func (p *Processor) Tick(now int64) {
 	p.now = now
 	p.ticked = now
-	for _, t := range p.threads {
+	for i, t := range p.threads {
 		if t.finished {
 			continue
 		}
@@ -209,12 +209,12 @@ func (p *Processor) Tick(now int64) {
 		if t.readyAt > now {
 			continue
 		}
-		p.step(t, now)
+		p.step(i, t, now)
 	}
 }
 
-// step executes (or retries) one operation for a thread.
-func (p *Processor) step(t *thread, now int64) {
+// step executes (or retries) one operation for thread ti.
+func (p *Processor) step(ti int, t *thread, now int64) {
 	var op Op
 	if t.pending != nil {
 		op = *t.pending
@@ -240,7 +240,9 @@ func (p *Processor) step(t *thread, now int64) {
 		p.Retired += n
 
 	case OpLoad:
-		res, lat := p.hier.Access(t.core, op.Addr, false, p.loadDone(t))
+		// The thread index tags the waiter so a snapshot can re-link the
+		// loadDone closure on restore (see cache.AccessTagged).
+		res, lat := p.hier.AccessTagged(t.core, op.Addr, false, ti, p.loadDone(t))
 		switch res {
 		case cache.Hit:
 			t.readyAt = now + lat
@@ -267,7 +269,7 @@ func (p *Processor) step(t *thread, now int64) {
 		}
 
 	case OpStore:
-		res, lat := p.hier.Access(t.core, op.Addr, true, nil)
+		res, lat := p.hier.AccessTagged(t.core, op.Addr, true, ti, nil)
 		switch res {
 		case cache.Hit:
 			t.readyAt = now + lat
@@ -287,6 +289,10 @@ func (p *Processor) step(t *thread, now int64) {
 		panic(fmt.Sprintf("cpu: unknown op kind %d", op.Kind))
 	}
 }
+
+// LoadDoneFor rebuilds the fill callback for hardware thread ti, for
+// re-linking MSHR waiters when restoring a snapshot.
+func (p *Processor) LoadDoneFor(ti int) func() { return p.loadDone(p.threads[ti]) }
 
 // loadDone builds the fill callback for a thread's load miss.
 func (p *Processor) loadDone(t *thread) func() {

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"mil/internal/sim"
+)
+
+// The journal makes a sweep crash-safe: every fresh cell's result is
+// appended to a JSONL file as it settles, and a restarted sweep replays
+// the file into the singleflight cache so completed cells are skipped
+// instead of re-simulated. One record per line:
+//
+//	{"key":"<canonical run key>","crc":<crc32>,"result":{...}}
+//
+// The CRC covers the result's JSON bytes, so a record that was torn by a
+// crash (or bit-rotted) is detected rather than trusted. Replay stops at
+// the first bad record and truncates the file there: everything after a
+// torn line is unreachable anyway, and truncating restores the append
+// invariant for the resumed sweep. Keys embed the full semantic
+// configuration (ops, seed, fault, ... — see runKeyOf), so a journal
+// written under different flags simply never matches and is harmless.
+type journalRecord struct {
+	Key    string          `json:"key"`
+	CRC    uint32          `json:"crc"`
+	Result json.RawMessage `json:"result"`
+}
+
+// OpenJournal attaches a result journal to the runner: existing intact
+// records seed the cell cache (they will not be re-simulated), and every
+// fresh cell completed from now on is appended. It returns the number of
+// replayed cells. Call before the first cell runs; pair with
+// CloseJournal.
+func (r *Runner) OpenJournal(path string) (replayed int, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var good int64 // byte offset just past the last intact record
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec journalRecord
+		if json.Unmarshal(line, &rec) != nil || crc32.ChecksumIEEE(rec.Result) != rec.CRC {
+			break
+		}
+		res := new(sim.Result)
+		if json.Unmarshal(rec.Result, res) != nil {
+			break
+		}
+		good += int64(len(line)) + 1
+		done := make(chan struct{})
+		close(done)
+		r.mu.Lock()
+		if r.cache == nil {
+			r.cache = make(map[string]*inflight)
+		}
+		if _, dup := r.cache[rec.Key]; !dup {
+			r.cache[rec.Key] = &inflight{done: done, res: res}
+			replayed++
+		}
+		r.mu.Unlock()
+	}
+	if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
+		f.Close()
+		return replayed, fmt.Errorf("experiments: reading journal %s: %w", path, err)
+	}
+	// Drop any torn tail so appends start on a record boundary again.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return replayed, err
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return replayed, err
+	}
+	r.journalMu.Lock()
+	r.journal = f
+	r.journalMu.Unlock()
+	return replayed, nil
+}
+
+// CloseJournal detaches and closes the journal, if one is open.
+func (r *Runner) CloseJournal() error {
+	r.journalMu.Lock()
+	defer r.journalMu.Unlock()
+	if r.journal == nil {
+		return nil
+	}
+	err := r.journal.Close()
+	r.journal = nil
+	return err
+}
+
+// appendJournal records one settled cell. Each record goes out in a
+// single Write call so a crash tears at most the final line — exactly
+// what replay tolerates. Journal failures are returned to the cell's
+// caller: a sweep that cannot persist its progress should say so rather
+// than silently lose it.
+func (r *Runner) appendJournal(key string, res *sim.Result) error {
+	r.journalMu.Lock()
+	defer r.journalMu.Unlock()
+	if r.journal == nil {
+		return nil
+	}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(journalRecord{Key: key, CRC: crc32.ChecksumIEEE(payload), Result: payload})
+	if err != nil {
+		return err
+	}
+	_, err = r.journal.Write(append(line, '\n'))
+	return err
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mil/internal/sim"
+)
+
+// TestJournalResume is the crash-safety differential: a sweep killed
+// mid-flight (journal cut to a prefix plus a torn record) and rerun with
+// the same journal must replay the intact cells, re-simulate only the
+// remainder, and render every table byte-identical to the uninterrupted
+// sweep — which TestGolden separately pins to the committed snapshots.
+func TestJournalResume(t *testing.T) {
+	if raceEnabled {
+		t.Skip("journal replay is scheduling-independent; the engine is raced by TestSweepDeterminism")
+	}
+	journal := filepath.Join(t.TempDir(), "sweep.journal")
+
+	r1 := goldenRunner()
+	if _, err := r1.OpenJournal(journal); err != nil {
+		t.Fatal(err)
+	}
+	tables1, err := r1.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	fresh1, _ := r1.Stats()
+	if fresh1 == 0 {
+		t.Fatal("uninterrupted sweep simulated nothing")
+	}
+
+	// "Kill" the sweep: keep half the journal and tear the next record in
+	// two, as a crash mid-append would.
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) < 4 {
+		t.Fatalf("journal has only %d records; cannot split", len(lines))
+	}
+	keep := len(lines) / 2
+	cut := append([]byte(nil), bytes.Join(lines[:keep], nil)...)
+	cut = append(cut, lines[keep][:len(lines[keep])/2]...) // torn record
+	if err := os.WriteFile(journal, cut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := goldenRunner()
+	replayed, err := r2.OpenJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != keep {
+		t.Fatalf("replayed %d cells from %d intact records (the torn record must not count)", replayed, keep)
+	}
+	tables2, err := r2.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	fresh2, _ := r2.Stats()
+	if want := fresh1 - int64(keep); fresh2 != want {
+		t.Errorf("resumed sweep ran %d fresh cells, want %d (journaled cells must be skipped)", fresh2, want)
+	}
+	requireSameTables(t, tables1, tables2, "resumed")
+
+	// The resumed sweep re-journaled what it re-ran, so a third pass finds
+	// every cell on disk and simulates nothing.
+	r3 := goldenRunner()
+	if _, err := r3.OpenJournal(journal); err != nil {
+		t.Fatal(err)
+	}
+	tables3, err := r3.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r3.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if fresh3, _ := r3.Stats(); fresh3 != 0 {
+		t.Errorf("fully-journaled sweep still ran %d simulations", fresh3)
+	}
+	requireSameTables(t, tables1, tables3, "fully replayed")
+}
+
+// requireSameTables asserts two renderings of the sweep are identical.
+func requireSameTables(t *testing.T, want, got []*Table, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s sweep rendered %d tables, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i].String(), got[i].String()
+		if w != g {
+			t.Errorf("%s sweep drifted on %s:\n%s", label, want[i].ID, firstDiff(w, g))
+		}
+	}
+}
+
+// TestJournalIgnoresForeignRecords pins the key contract: records from a
+// journal written under a different configuration load into the cache
+// under their own keys, which no cell of this sweep ever asks for — so
+// every cell still simulates fresh rather than reusing a wrong result.
+func TestJournalIgnoresForeignRecords(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "sweep.journal")
+	r1 := NewRunner(90)
+	r1.Suite = []string{"MM"}
+	r1.Workers = 4
+	if _, err := r1.OpenJournal(journal); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.get(sim.Server, "baseline", "MM", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := NewRunner(91) // different ops budget => different keys
+	r2.Suite = []string{"MM"}
+	r2.Workers = 4
+	if _, err := r2.OpenJournal(journal); err != nil {
+		t.Fatal(err)
+	}
+	defer r2.CloseJournal()
+	if _, err := r2.get(sim.Server, "baseline", "MM", 0); err != nil {
+		t.Fatal(err)
+	}
+	if fresh, _ := r2.Stats(); fresh != 1 {
+		t.Errorf("foreign journal suppressed a fresh run: %d fresh cells, want 1", fresh)
+	}
+}
+
+// TestCellTimeout pins the wedged-cell behavior: an absurdly small
+// budget exhausts the capped-backoff retries and surfaces
+// sim.ErrDeadline instead of hanging the sweep. The run must be long
+// enough to reach the deadline gate's 4096-landed-cycle polling stride.
+func TestCellTimeout(t *testing.T) {
+	r := NewRunner(1500)
+	r.CellTimeout = time.Nanosecond
+	_, err := r.get(sim.Server, "baseline", "GUPS", 0)
+	if !errors.Is(err, sim.ErrDeadline) {
+		t.Fatalf("1ns cell budget: want sim.ErrDeadline, got %v", err)
+	}
+}

@@ -16,9 +16,11 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -127,12 +129,24 @@ type Runner struct {
 	// snapshot is byte-identical at any Workers count: the singleflight
 	// cache runs each distinct cell exactly once and all registry updates
 	// commute. Nil (the default) keeps every run on the zero-cost path.
+	// Caveat: an attempt aborted by CellTimeout or a panic has already
+	// bumped shared counters, so a sweep that needed retries is no longer
+	// byte-comparable to a clean one.
 	Metrics *obs.Registry
+	// CellTimeout bounds each simulation's wall-clock time; zero disables
+	// the bound. A cell that exceeds it is retried with a doubled budget
+	// (capped at 8x CellTimeout) up to cellAttempts tries, then fails with
+	// sim.ErrDeadline. The backoff absorbs transient slowness (a loaded
+	// machine) without letting one pathological cell wedge the sweep.
+	CellTimeout time.Duration
 
 	mu    sync.Mutex
 	cache map[string]*inflight
 	sem   chan struct{}
 	wg    sync.WaitGroup
+
+	journalMu sync.Mutex
+	journal   *os.File
 
 	launched atomic.Int64
 	finished atomic.Int64
@@ -265,7 +279,7 @@ func (r *Runner) result(cfg sim.Config, label string) (*sim.Result, error) {
 	sem <- struct{}{}
 	seq := r.launched.Add(1)
 	start := time.Now()
-	e.res, e.err = sim.Run(cfg)
+	e.res, e.err = r.runCell(cfg)
 	elapsed := time.Since(start)
 	<-sem
 
@@ -275,6 +289,11 @@ func (r *Runner) result(cfg sim.Config, label string) (*sim.Result, error) {
 		r.eventsFired.Add(e.res.Loop.EventsFired)
 		r.cyclesSkipped.Add(e.res.Loop.CyclesSkipped)
 	}
+	if e.err == nil {
+		if jerr := r.appendJournal(key, e.res); jerr != nil {
+			e.res, e.err = nil, jerr
+		}
+	}
 	if r.Progress != nil {
 		r.mu.Lock()
 		fmt.Fprintf(r.Progress, "run %d: %s ops=%d seed=%d (%.0fms)\n",
@@ -283,6 +302,42 @@ func (r *Runner) result(cfg sim.Config, label string) (*sim.Result, error) {
 	}
 	close(e.done)
 	return e.res, e.err
+}
+
+// cellAttempts bounds the deadline-retry loop in runCell.
+const cellAttempts = 3
+
+// runCell executes one simulation with the sweep's robustness wrappers:
+// a panic inside the simulator fails the cell instead of the whole
+// sweep, and CellTimeout (when set) turns a wedged cell into a retried,
+// then failed, one. Retries are safe because sim.Run owns no shared
+// state — an aborted attempt leaves nothing behind (except shared
+// Metrics counters; see that field's caveat).
+func (r *Runner) runCell(cfg sim.Config) (*sim.Result, error) {
+	attempt := func(c sim.Config) (res *sim.Result, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				res, err = nil, fmt.Errorf("experiments: %s/%s/%s panicked: %v",
+					c.System, c.Scheme, c.Benchmark.Name, p)
+			}
+		}()
+		return sim.Run(c)
+	}
+	timeout := r.CellTimeout
+	for tries := 1; ; tries++ {
+		c := cfg
+		if timeout > 0 {
+			c.Deadline = time.Now().Add(timeout)
+		}
+		res, err := attempt(c)
+		if timeout == 0 || tries >= cellAttempts || !errors.Is(err, sim.ErrDeadline) {
+			return res, err
+		}
+		timeout *= 2
+		if cap := 8 * r.CellTimeout; timeout > cap {
+			timeout = cap
+		}
+	}
 }
 
 // Prefetch schedules cells on the worker pool without waiting for them.

@@ -16,6 +16,10 @@ type Request struct {
 
 	retries int   // failed link transfers replayed so far
 	retryAt int64 // ineligible for scheduling before this cycle (backoff)
+
+	// needDone marks a snapshot-restored request whose OnDone callback has
+	// not been re-linked yet (closures cannot be serialized).
+	needDone bool
 }
 
 // Retries returns how many times this request's burst was replayed after a

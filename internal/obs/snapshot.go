@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"mil/internal/snap"
+)
+
+// Snapshot serializes every registered metric in sorted-name order.
+// Components re-resolve their handles on restore as they do at startup,
+// so values land back in the same named slots; histograms restore into
+// existing registrations when present and re-create them (edges included)
+// otherwise.
+func (r *Registry) Snapshot(w *snap.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w.Len(len(names))
+	for _, name := range names {
+		w.String(name)
+		w.I64(r.counters[name].Value())
+	}
+
+	names = names[:0]
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w.Len(len(names))
+	for _, name := range names {
+		w.String(name)
+		w.I64(r.gauges[name].Value())
+	}
+
+	names = names[:0]
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w.Len(len(names))
+	for _, name := range names {
+		h := r.hists[name]
+		w.String(name)
+		w.I64s(h.edges)
+		buckets := make([]int64, len(h.buckets))
+		for i := range h.buckets {
+			buckets[i] = h.buckets[i].Load()
+		}
+		w.I64s(buckets)
+		w.I64(h.count.Load())
+		w.I64(h.sum.Load())
+	}
+}
+
+// Restore implements snap.Snapshotter.
+func (r *Registry) Restore(rd *snap.Reader) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	nc := rd.Len()
+	for i := 0; i < nc; i++ {
+		name := rd.String()
+		v := rd.I64()
+		c, ok := r.counters[name]
+		if !ok {
+			c = &Counter{}
+			r.counters[name] = c
+		}
+		c.v.Store(v)
+	}
+	ng := rd.Len()
+	for i := 0; i < ng; i++ {
+		name := rd.String()
+		v := rd.I64()
+		g, ok := r.gauges[name]
+		if !ok {
+			g = &Gauge{}
+			r.gauges[name] = g
+		}
+		g.v.Store(v)
+	}
+	nh := rd.Len()
+	for i := 0; i < nh; i++ {
+		name := rd.String()
+		edges := rd.I64s()
+		buckets := rd.I64s()
+		count := rd.I64()
+		sum := rd.I64()
+		h, ok := r.hists[name]
+		if !ok {
+			h = &Hist{edges: edges, buckets: make([]atomic.Int64, len(edges)+1)}
+			r.hists[name] = h
+		}
+		if len(buckets) != len(h.buckets) {
+			return fmt.Errorf("obs: snapshot histogram %q has %d buckets, this build has %d", name, len(buckets), len(h.buckets))
+		}
+		for i := range buckets {
+			h.buckets[i].Store(buckets[i])
+		}
+		h.count.Store(count)
+		h.sum.Store(sum)
+	}
+	return rd.Err()
+}

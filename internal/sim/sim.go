@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
+	"time"
 
 	"mil/internal/cache"
 	"mil/internal/cpu"
@@ -62,6 +64,35 @@ type Config struct {
 	// Loop counters); the reference mode exists so the differential tests
 	// can prove it, and as a debugging fallback.
 	Steplock bool
+
+	// The fields below control checkpoint/resume (DESIGN.md §5.10). None
+	// of them participates in Config.Hash: a resumed run must hash equal
+	// to the original.
+
+	// Checkpoint is the snapshot file path. Required by CheckpointEvery,
+	// CheckpointAt, and Interrupt; empty disables checkpointing.
+	Checkpoint string
+	// CheckpointEvery writes Checkpoint every N landed (fired) CPU cycles
+	// and keeps running. Zero disables periodic checkpoints.
+	CheckpointEvery int64
+	// CheckpointAt stops the run just before firing the first landed cycle
+	// >= this value, writes Checkpoint, and returns ErrCheckpointed. Zero
+	// disables. Used by the differential tests and -checkpoint-at style
+	// tooling.
+	CheckpointAt int64
+	// Interrupt, when non-nil, is polled before every landed cycle: once
+	// it reads true the run writes Checkpoint (if set) and returns
+	// ErrCheckpointed. CLI signal handlers set it from their goroutine.
+	Interrupt *atomic.Bool
+	// Resume loads the simulation state from this snapshot file before
+	// the first cycle. The file must carry this Config's hash; a snapshot
+	// taken under a different configuration (or format version) is
+	// rejected rather than silently diverging.
+	Resume string
+	// Deadline, when non-zero, aborts the run with ErrDeadline once the
+	// wall clock passes it (polled every few thousand landed cycles). The
+	// experiment runner uses it for per-cell timeouts.
+	Deadline time.Time
 }
 
 // Validate reports configuration errors before any machinery is built.
@@ -87,6 +118,12 @@ func (c *Config) Validate() error {
 	}
 	if (c.WriteCRC || c.CAParity) && c.System != Server {
 		return fmt.Errorf("sim: write CRC / CA parity are DDR4 features; %s models LPDDR3", c.System)
+	}
+	if c.CheckpointEvery < 0 || c.CheckpointAt < 0 {
+		return fmt.Errorf("sim: checkpoint-every %d / checkpoint-at %d < 0", c.CheckpointEvery, c.CheckpointAt)
+	}
+	if (c.CheckpointEvery > 0 || c.CheckpointAt > 0) && c.Checkpoint == "" {
+		return fmt.Errorf("sim: periodic or targeted checkpointing needs a checkpoint file path")
 	}
 	return nil
 }
@@ -374,8 +411,65 @@ func Run(cfg Config) (*Result, error) {
 	// counters carry identical semantics (see LoopStats): the steplock
 	// loop lands every cycle, the event loop only the woken ones.
 	ev := sched.NewEventClock()
+
+	// Checkpoint/resume plumbing (DESIGN.md §5.10). The machine bundles
+	// every stateful component; gate runs at the top of the loop body in
+	// both modes, just before the landed cycle fires, so a snapshot means
+	// "about to fire cycle cpuNow" under either loop.
+	var degr *milcore.Degrader
+	if d, ok := policy.(*milcore.Degrader); ok {
+		degr = d
+	}
+	m := &machine{
+		cfg: &cfg, ev: ev, streams: streams, proc: proc, hier: hier,
+		memSys: memSys, mem: mem, degr: degr, port: port,
+	}
+	if cfg.Resume != "" {
+		resumed, err := m.loadCheckpoint(cfg.Resume)
+		if err != nil {
+			return nil, fmt.Errorf("sim: resume from %s: %w", cfg.Resume, err)
+		}
+		cpuNow = resumed
+	}
+	var sinceCkpt, gateTick int64
+	gate := func(cpuNow int64) error {
+		if !cfg.Deadline.IsZero() {
+			gateTick++
+			if gateTick&4095 == 0 && time.Now().After(cfg.Deadline) {
+				return ErrDeadline
+			}
+		}
+		if cfg.Interrupt != nil && cfg.Interrupt.Load() {
+			if cfg.Checkpoint != "" {
+				if err := m.writeCheckpoint(cfg.Checkpoint, cpuNow); err != nil {
+					return err
+				}
+			}
+			return ErrCheckpointed
+		}
+		if cfg.CheckpointAt > 0 && cpuNow >= cfg.CheckpointAt {
+			if err := m.writeCheckpoint(cfg.Checkpoint, cpuNow); err != nil {
+				return err
+			}
+			return ErrCheckpointed
+		}
+		if cfg.CheckpointEvery > 0 {
+			sinceCkpt++
+			if sinceCkpt >= cfg.CheckpointEvery {
+				sinceCkpt = 0
+				if err := m.writeCheckpoint(cfg.Checkpoint, cpuNow); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
 	if cfg.Steplock {
 		for {
+			if err := gate(cpuNow); err != nil {
+				return nil, err
+			}
 			ev.Advance(cpuNow)
 			if cpuNow%2 == 0 {
 				port.dramNow = cpuNow / 2
@@ -396,6 +490,9 @@ func Run(cfg Config) (*Result, error) {
 	} else {
 		clock := sched.Clock{CPUPerDRAM: 2}
 		for {
+			if err := gate(cpuNow); err != nil {
+				return nil, err
+			}
 			ev.Advance(cpuNow)
 			evTrack.Instant("fire", cpuNow, obs.Args{})
 			// Stall accounting for the skipped window first: the fills the

@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mil/internal/cache"
+	"mil/internal/cpu"
+	"mil/internal/memctrl"
+	"mil/internal/milcore"
+	"mil/internal/sched"
+	"mil/internal/snap"
+)
+
+// ErrCheckpointed is returned by Run when the simulation was suspended to
+// the checkpoint file (CheckpointAt reached or Interrupt raised) rather
+// than run to completion. The caller restarts later with Config.Resume.
+var ErrCheckpointed = errors.New("sim: run suspended to checkpoint")
+
+// ErrDeadline is returned by Run when Config.Deadline passed before the
+// simulation finished.
+var ErrDeadline = errors.New("sim: wall-clock deadline exceeded")
+
+// Hash fingerprints the semantic configuration of a run: everything that
+// influences the simulated machine's trajectory, and nothing that does
+// not (checkpoint/resume wiring, tracing, observability sinks, wall-clock
+// deadlines). A snapshot binds to this hash so a resume under any other
+// configuration — which would silently diverge — is rejected up front.
+// Steplock is included: the two loop modes agree on the Result but not on
+// the landed-cycle schedule, and a checkpoint is taken at a landed cycle.
+func (c *Config) Hash() uint64 {
+	benchName := ""
+	if c.Benchmark != nil {
+		benchName = c.Benchmark.Name
+	}
+	s := fmt.Sprintf("mil-cfg-v1|sys=%d|scheme=%s|bench=%s|ops=%d|la=%d|max=%d|verify=%v|pd=%v"+
+		"|ber=%g|brate=%g|blen=%d|stuck=%v|stuckv=%v|fseed=%d"+
+		"|crc=%v|ca=%v|retry=%d/%d/%d/%d|seed=%d|steplock=%v",
+		c.System, c.Scheme, benchName, c.MemOpsPerThread, c.LookaheadX, c.MaxCPUCycles, c.Verify, c.PowerDown,
+		c.Fault.BER, c.Fault.BurstRate, c.Fault.BurstLen, c.Fault.StuckPins, c.Fault.StuckVal, c.Fault.Seed,
+		c.WriteCRC, c.CAParity, c.Retry.MaxRetries, c.Retry.BackoffBase, c.Retry.BackoffMax, c.Retry.StormThreshold,
+		c.Seed, c.Steplock)
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// machine bundles every stateful component of one run for snapshotting.
+// The serialization order is fixed and positional (see package snap):
+// next-cycle, event clock, workload streams, processor, hierarchy, memory
+// system (with device and phy state), write overlay, degrade ladder,
+// memory port, metrics registry.
+type machine struct {
+	cfg     *Config
+	ev      *sched.EventClock
+	streams []cpu.Stream
+	proc    *cpu.Processor
+	hier    *cache.Hierarchy
+	memSys  *memctrl.System
+	mem     *memctrl.OverlayMemory
+	degr    *milcore.Degrader // nil unless the scheme degrades
+	port    *memPort
+}
+
+// snapshot serializes the whole machine with cpuNow as the next cycle to
+// fire (the checkpoint is taken at the top of the loop body, before the
+// cycle's work, in either loop mode).
+func (m *machine) snapshot(cpuNow int64) []byte {
+	var w snap.Writer
+	w.I64(cpuNow)
+	m.ev.Snapshot(&w)
+	w.Len(len(m.streams))
+	for _, st := range m.streams {
+		st.(snap.Snapshotter).Snapshot(&w)
+	}
+	m.proc.Snapshot(&w)
+	m.hier.Snapshot(&w)
+	m.memSys.Snapshot(&w)
+	m.mem.Snapshot(&w)
+	w.Bool(m.degr != nil)
+	if m.degr != nil {
+		m.degr.Snapshot(&w)
+	}
+	m.snapshotPort(&w)
+	// The metrics registry accumulates per-event counters incrementally,
+	// so a resumed run's metrics CSV can only match an uninterrupted run's
+	// if the counters cross the checkpoint too. Trace recorders do not
+	// resume (a trace of half a run is still a valid trace).
+	hasObs := m.cfg.Obs.Enabled() && m.cfg.Obs.Metrics != nil
+	w.Bool(hasObs)
+	if hasObs {
+		m.cfg.Obs.Metrics.Snapshot(&w)
+	}
+	return w.Bytes()
+}
+
+// restore rebuilds the machine from a snapshot payload and returns the
+// next cycle to fire. All components were freshly constructed from the
+// same Config (enforced by the container's config-hash check), so every
+// geometry already matches; restore fills in the mutable state and
+// re-links the completion callbacks that could not be serialized.
+func (m *machine) restore(r *snap.Reader) (int64, error) {
+	cpuNow := r.I64()
+	if err := m.ev.Restore(r); err != nil {
+		return 0, err
+	}
+	ns := r.Len()
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	if ns != len(m.streams) {
+		return 0, fmt.Errorf("sim: snapshot has %d streams, config has %d", ns, len(m.streams))
+	}
+	for _, st := range m.streams {
+		if err := st.(snap.Snapshotter).Restore(r); err != nil {
+			return 0, err
+		}
+	}
+	if err := m.proc.Restore(r); err != nil {
+		return 0, err
+	}
+	// MSHR waiters re-link to the processor's per-thread completion
+	// callbacks via the thread-index tags the CPU issues accesses with.
+	if err := m.hier.Restore(r, m.proc.LoadDoneFor); err != nil {
+		return 0, err
+	}
+	if err := m.memSys.Restore(r); err != nil {
+		return 0, err
+	}
+	if err := m.mem.Restore(r); err != nil {
+		return 0, err
+	}
+	hadDegr := r.Bool()
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	if hadDegr != (m.degr != nil) {
+		return 0, fmt.Errorf("sim: snapshot degrader presence %v, config says %v", hadDegr, m.degr != nil)
+	}
+	if m.degr != nil {
+		if err := m.degr.Restore(r); err != nil {
+			return 0, err
+		}
+	}
+	if err := m.restorePort(r); err != nil {
+		return 0, err
+	}
+	hadObs := r.Bool()
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	hasObs := m.cfg.Obs.Enabled() && m.cfg.Obs.Metrics != nil
+	if hadObs && !hasObs {
+		return 0, fmt.Errorf("sim: snapshot carries metrics but this run has no registry attached")
+	}
+	if hadObs {
+		if err := m.cfg.Obs.Metrics.Restore(r); err != nil {
+			return 0, err
+		}
+	}
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	if !r.Done() {
+		return 0, fmt.Errorf("sim: snapshot has trailing bytes (format drift)")
+	}
+	return cpuNow, nil
+}
+
+// snapshotPort serializes the port adapter: clock-domain cursor, store
+// sequence, and the per-line requests parked on controller backpressure.
+// The inflight map is not serialized — it is exactly the set of read
+// requests living inside the controllers, and restorePort rebuilds it
+// from them.
+func (m *machine) snapshotPort(w *snap.Writer) {
+	p := m.port
+	w.I64(p.dramNow)
+	w.U64(p.writeSeq)
+	snapReqMap := func(reqs map[int64]*memctrl.Request) {
+		lines := make([]int64, 0, len(reqs))
+		for l := range reqs {
+			lines = append(lines, l)
+		}
+		sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+		w.Len(len(lines))
+		for _, l := range lines {
+			memctrl.SnapRequest(w, reqs[l])
+		}
+	}
+	snapReqMap(p.pendingRd)
+	snapReqMap(p.pendingWr)
+}
+
+// restorePort rebuilds the port maps and re-links every read completion
+// callback (parked and enqueued alike) to the restored hierarchy's fill
+// handler.
+func (m *machine) restorePort(r *snap.Reader) error {
+	p := m.port
+	p.dramNow = r.I64()
+	p.writeSeq = r.U64()
+	restoreReqMap := func() map[int64]*memctrl.Request {
+		n := r.Len()
+		out := make(map[int64]*memctrl.Request, n)
+		for i := 0; i < n; i++ {
+			req := memctrl.RestoreRequest(r)
+			out[req.Line] = req
+		}
+		return out
+	}
+	p.pendingRd = restoreReqMap()
+	p.pendingWr = restoreReqMap()
+	if err := r.Err(); err != nil {
+		return err
+	}
+
+	// Re-link completions. Every read request — parked or enqueued — had
+	// the port's per-line OnDone closure at snapshot time; rebuild it over
+	// the restored hierarchy's fill handler, and rebuild the inflight map
+	// (accepted reads) from the controllers while at it.
+	fill := m.hier.FillHandler()
+	relink := func(req *memctrl.Request) error {
+		if !req.NeedsOnDone() {
+			if !req.Write && req.OnDone == nil {
+				return fmt.Errorf("sim: restored read for line %d has no completion callback", req.Line)
+			}
+			return nil
+		}
+		line := req.Line
+		req.OnDone = func(int64) {
+			delete(p.inflight, line)
+			fill(line)
+		}
+		return nil
+	}
+	p.inflight = make(map[int64]*memctrl.Request)
+	var relinkErr error
+	m.memSys.EachRequest(func(req *memctrl.Request) {
+		if req.Write {
+			return
+		}
+		if err := relink(req); err != nil && relinkErr == nil {
+			relinkErr = err
+		}
+		p.inflight[req.Line] = req
+	})
+	if relinkErr != nil {
+		return relinkErr
+	}
+	for _, req := range p.pendingRd {
+		if err := relink(req); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeCheckpoint frames and atomically writes the machine snapshot.
+func (m *machine) writeCheckpoint(path string, cpuNow int64) error {
+	return snap.WriteFile(path, m.cfg.Hash(), m.snapshot(cpuNow))
+}
+
+// loadCheckpoint reads, validates, and applies a snapshot file, returning
+// the next cycle to fire.
+func (m *machine) loadCheckpoint(path string) (int64, error) {
+	r, err := snap.ReadFile(path, m.cfg.Hash())
+	if err != nil {
+		return 0, err
+	}
+	return m.restore(r)
+}
+
+// The event clock must stay a full Snapshotter; workload streams are
+// asserted dynamically in snapshot/restore (their concrete type is
+// unexported).
+var _ snap.Snapshotter = (*sched.EventClock)(nil)

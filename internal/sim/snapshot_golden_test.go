@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotGolden pins the on-disk checkpoint format: a fixed
+// server/mil cell suspended at a fixed cycle must serialize to the exact
+// blessed bytes, and the blessed bytes must still resume to the same
+// Result as an uninterrupted run. Any byte of drift means the snapshot
+// layout changed — bump snap.Version and re-bless with -update (make
+// golden does both families) only when the change is intentional.
+func TestSnapshotGolden(t *testing.T) {
+	cfg := obsConfig(t, 60)
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "golden.milsnap")
+	cc := cfg
+	cc.Checkpoint = ckpt
+	cc.CheckpointAt = full.CPUCycles / 2
+	if _, err := Run(cc); !errors.Is(err, ErrCheckpointed) {
+		t.Fatalf("checkpointing run: want ErrCheckpointed, got %v", err)
+	}
+	got, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "snap", "checkpoint.milsnap")
+	if *updateObs {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("blessed %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to bless): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("snapshot format drifted from golden: got %d bytes, want %d "+
+			"(re-bless with -update and bump snap.Version if intentional)", len(got), len(want))
+	}
+
+	// The blessed snapshot must remain loadable: resume it and require the
+	// tail to land on the uninterrupted Result.
+	cr := cfg
+	cr.Resume = path
+	resumed, err := Run(cr)
+	if err != nil {
+		t.Fatalf("resume from golden snapshot: %v", err)
+	}
+	if !reflect.DeepEqual(full, resumed) {
+		t.Errorf("resume from golden snapshot diverges:\n  full:    %+v\n  resumed: %+v", full, resumed)
+	}
+}

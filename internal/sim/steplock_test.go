@@ -156,6 +156,46 @@ func TestEventLoopMatchesSteplockRetry(t *testing.T) {
 	requireIdentical(t, step, event)
 }
 
+// TestEventLoopMatchesSteplockStuckLane covers the fault injector's
+// stuck-lane mode: unlike the stochastic BER/burst modes it corrupts
+// every driven transfer, so the degrade ladder and retry paths see a
+// steady failure signal whose timing must survive the event loop's
+// cycle skipping.
+func TestEventLoopMatchesSteplockStuckLane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep is slow")
+	}
+	if raceEnabled {
+		t.Skip("single-threaded loop-mode differential; nothing to race")
+	}
+	b, err := workload.ByName("STRMATCH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stuck := fault.Config{StuckPins: []int{5, 33}, StuckVal: true, Seed: 11}
+	for _, scheme := range []string{"baseline", "mil-degrade"} {
+		t.Run(scheme, func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{
+				System: Server, Scheme: scheme, Benchmark: b,
+				MemOpsPerThread: 1200, Fault: stuck,
+			}
+			step, event := runBoth(t, cfg)
+			clean := cfg
+			clean.Fault = fault.Config{}
+			ref, err := Run(clean)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.Loop = LoopStats{}
+			if reflect.DeepEqual(ref, event) {
+				t.Fatal("stuck lanes changed nothing; test exercises nothing")
+			}
+			requireIdentical(t, step, event)
+		})
+	}
+}
+
 // TestEventLoopSkipsCycles pins the point of the refactor: on an
 // idle-heavy run the event loop must actually skip a large fraction of
 // the timeline, not just match the reference loop.

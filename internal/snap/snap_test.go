@@ -1,0 +1,221 @@
+package snap
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriterReaderRoundTrip drives every primitive through an encode/decode
+// cycle.
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var w Writer
+	w.U8(0xAB)
+	w.Bool(true)
+	w.Bool(false)
+	w.U32(0xDEADBEEF)
+	w.U64(1<<63 + 12345)
+	w.I64(-42)
+	w.Int(99)
+	w.F64(3.14159)
+	w.String("hello")
+	w.String("")
+	blk := [64]byte{1, 2, 3, 63: 64}
+	w.Bytes64(&blk)
+	w.I64s([]int64{-1, 0, 7})
+	w.I64s(nil)
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 0xAB {
+		t.Errorf("U8 = %x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %x", got)
+	}
+	if got := r.U64(); got != 1<<63+12345 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.Int(); got != 99 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.F64(); got != 3.14159 {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	var blk2 [64]byte
+	r.Bytes64(&blk2)
+	if blk2 != blk {
+		t.Error("Bytes64 round trip failed")
+	}
+	vs := r.I64s()
+	if len(vs) != 3 || vs[0] != -1 || vs[1] != 0 || vs[2] != 7 {
+		t.Errorf("I64s = %v", vs)
+	}
+	if got := r.I64s(); got != nil {
+		t.Errorf("nil I64s = %v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("reader error: %v", err)
+	}
+	if !r.Done() {
+		t.Error("payload not fully consumed")
+	}
+}
+
+// TestReaderTruncation checks errors are sticky and reads stay safe.
+func TestReaderTruncation(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	if got := r.U64(); got != 0 {
+		t.Errorf("truncated U64 = %d", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("no error on truncated read")
+	}
+	// Every later read is a zero-valued no-op.
+	if r.I64() != 0 || r.String() != "" || r.Bool() {
+		t.Error("reads after error not zero")
+	}
+}
+
+// TestReaderBogusLength ensures a corrupt length cannot force a giant
+// allocation.
+func TestReaderBogusLength(t *testing.T) {
+	var w Writer
+	w.U64(1 << 60) // insane length
+	r := NewReader(w.Bytes())
+	if n := r.Len(); n != 0 {
+		t.Errorf("bogus length decoded to %d", n)
+	}
+	if r.Err() == nil {
+		t.Error("no error on bogus length")
+	}
+}
+
+// TestContainerRoundTrip exercises the full framed file path.
+func TestContainerRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.snap")
+	var w Writer
+	w.String("payload")
+	w.I64(777)
+	if err := WriteFile(path, 0x1234, w.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadFile(path, 0x1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.String(); got != "payload" {
+		t.Errorf("payload string = %q", got)
+	}
+	if got := r.I64(); got != 777 {
+		t.Errorf("payload i64 = %d", got)
+	}
+	if !r.Done() {
+		t.Error("trailing bytes left")
+	}
+}
+
+// TestContainerRejections covers hash mismatch, corruption, and truncation.
+func TestContainerRejections(t *testing.T) {
+	var w Writer
+	w.I64(1)
+	enc := Encode(0xAAAA, w.Bytes())
+
+	if _, err := Decode(enc, 0xBBBB); err == nil || !strings.Contains(err.Error(), "config hash") {
+		t.Errorf("hash mismatch not rejected: %v", err)
+	}
+	bad := append([]byte(nil), enc...)
+	bad[headerLen] ^= 0xFF
+	if _, err := Decode(bad, 0xAAAA); err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Errorf("corruption not rejected: %v", err)
+	}
+	if _, err := Decode(enc[:len(enc)-3], 0xAAAA); err == nil {
+		t.Error("truncation not rejected")
+	}
+	if _, err := Decode(nil, 0); err == nil {
+		t.Error("empty file not rejected")
+	}
+	// Version mismatch: bump the version byte and recompute the trailer so
+	// only the version check can fail.
+	verBad := append([]byte(nil), enc[:len(enc)-4]...)
+	verBad[8]++
+	verBad = binary.LittleEndian.AppendUint32(verBad, crc32.ChecksumIEEE(verBad))
+	if _, err := Decode(verBad, 0xAAAA); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("version mismatch not rejected: %v", err)
+	}
+}
+
+// TestCountingSourceMatchesStock proves the wrapper changes no stream: the
+// same seed through rand.New produces identical values with and without
+// counting.
+func TestCountingSourceMatchesStock(t *testing.T) {
+	const seed = 987654321
+	stock := rand.New(rand.NewSource(seed))
+	cs := NewCountingSource(seed)
+	counted := rand.New(cs)
+	for i := 0; i < 1000; i++ {
+		switch i % 4 {
+		case 0:
+			if a, b := stock.Int63(), counted.Int63(); a != b {
+				t.Fatalf("Int63 diverged at %d: %d vs %d", i, a, b)
+			}
+		case 1:
+			if a, b := stock.Float64(), counted.Float64(); a != b {
+				t.Fatalf("Float64 diverged at %d: %v vs %v", i, a, b)
+			}
+		case 2:
+			if a, b := stock.Intn(97), counted.Intn(97); a != b {
+				t.Fatalf("Intn diverged at %d: %d vs %d", i, a, b)
+			}
+		case 3:
+			if a, b := stock.Int63n(1<<40), counted.Int63n(1<<40); a != b {
+				t.Fatalf("Int63n diverged at %d: %d vs %d", i, a, b)
+			}
+		}
+	}
+	if cs.Draws() == 0 {
+		t.Error("draw count not advancing")
+	}
+}
+
+// TestCountingSourceSkipReplay proves snapshot-by-replay: a fresh source
+// skipped to an old source's draw count continues the identical stream.
+func TestCountingSourceSkipReplay(t *testing.T) {
+	const seed = 42
+	orig := NewCountingSource(seed)
+	rng := rand.New(orig)
+	for i := 0; i < 500; i++ {
+		rng.Float64()
+		rng.Intn(1000)
+	}
+	n := orig.Draws()
+
+	replayed := NewCountingSource(seed)
+	replayed.Skip(n)
+	rng2 := rand.New(replayed)
+	if replayed.Draws() != n {
+		t.Fatalf("Skip(%d) left draw count %d", n, replayed.Draws())
+	}
+	for i := 0; i < 500; i++ {
+		if a, b := rng.Float64(), rng2.Float64(); a != b {
+			t.Fatalf("Float64 diverged after replay at %d: %v vs %v", i, a, b)
+		}
+		if a, b := rng.Intn(1000), rng2.Intn(1000); a != b {
+			t.Fatalf("Intn diverged after replay at %d", i)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package snap
+
+import "math/rand"
+
+// CountingSource is a rand.Source64 that counts how many values it has
+// produced. math/rand exposes no way to export its generator state, but
+// every consumer in the simulator draws through a Source64 whose state
+// advances exactly one step per Int63/Uint64 call — so "number of draws
+// since seeding" IS the state. A stream is snapshotted as its draw count
+// and restored by reseeding and discarding that many draws (replay).
+//
+// rand.New takes its Source64 fast path for this type, so wrapping the
+// stock source changes no stream behavior: seeded runs stay bit-identical
+// to runs made before this type existed (the golden tables prove it).
+type CountingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+// NewCountingSource seeds a counting source exactly as rand.NewSource
+// would.
+func NewCountingSource(seed int64) *CountingSource {
+	return &CountingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 implements rand.Source.
+func (s *CountingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *CountingSource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source, restarting the draw count with the state.
+func (s *CountingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.n = 0
+}
+
+// Draws returns the number of values produced since seeding.
+func (s *CountingSource) Draws() uint64 { return s.n }
+
+// Skip advances the generator by n draws without handing the values out
+// (each Uint64 advances the underlying generator exactly one step, the
+// same step Int63 takes). After Skip(m) on a freshly seeded source, the
+// stream continues exactly where a source that had produced m values
+// would.
+func (s *CountingSource) Skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.src.Uint64()
+	}
+	s.n += n
+}

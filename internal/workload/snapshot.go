@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"fmt"
+
+	"mil/internal/cpu"
+	"mil/internal/snap"
+)
+
+// Snapshot serializes the generator state. The RNG is captured as its draw
+// count (snapshot-by-replay, see snap.CountingSource); everything else is
+// plain position state. The benchmark spec itself is not serialized — a
+// restored run rebuilds the same spec from its Config.
+func (s *threadStream) Snapshot(w *snap.Writer) {
+	w.U64(s.src.Draws())
+	w.I64(s.opsLeft)
+	w.I64s(s.cursor)
+	if s.burst != nil {
+		w.Int(s.burstIdx)
+	} else {
+		w.Int(-1)
+	}
+	w.Int(s.burstLeft)
+	w.Len(len(s.queue))
+	for _, op := range s.queue {
+		w.Int(int(op.Kind))
+		w.I64(op.N)
+		w.I64(op.Addr)
+	}
+}
+
+// Restore implements snap.Snapshotter, replaying the RNG to its
+// snapshotted draw count.
+func (s *threadStream) Restore(r *snap.Reader) error {
+	draws := r.U64()
+	s.opsLeft = r.I64()
+	cursor := r.I64s()
+	bi := r.Int()
+	s.burstLeft = r.Int()
+	nq := r.Len()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(cursor) != len(s.cursor) {
+		return fmt.Errorf("workload: snapshot has %d burst cursors, spec has %d", len(cursor), len(s.cursor))
+	}
+	copy(s.cursor, cursor)
+	s.burst = nil
+	s.burstIdx = 0
+	if bi >= 0 {
+		if bi >= len(s.b.Bursts) {
+			return fmt.Errorf("workload: snapshot burst index %d out of range", bi)
+		}
+		s.burst = &s.b.Bursts[bi]
+		s.burstIdx = bi
+	}
+	s.queue = s.queue[:0]
+	for i := 0; i < nq; i++ {
+		s.queue = append(s.queue, cpu.Op{Kind: cpu.OpKind(r.Int()), N: r.I64(), Addr: r.I64()})
+	}
+	s.src.Seed(s.seed)
+	s.src.Skip(draws)
+	return r.Err()
+}
