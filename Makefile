@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify kernelcheck fuzz bench benchdiff profile golden experiments clean
+.PHONY: all build vet test race verify kernelcheck cover fuzz bench benchdiff profile golden experiments clean
 
 all: verify
 
@@ -20,7 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/workload/ ./internal/obs/
+	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/workload/ ./internal/obs/ ./internal/trace/
 	$(GO) test -race ./...
 
 verify: build vet test race kernelcheck
@@ -31,12 +31,26 @@ verify: build vet test race kernelcheck
 kernelcheck:
 	$(GO) test -run 'FuzzKernelEquivalence|TestCostZerosEquivalence|TestEncodeIntoMatchesEncode|TestSteadyStateZeroAllocs' -count=1 ./internal/code/
 
-# Short fuzz passes over the codec round-trip, corrupted-decode, and kernel
-# equivalence properties; CI-sized, not exhaustive.
+# Coverage gate: one instrumented run of the full suite, the repo-wide
+# statement coverage (CI publishes it in the job summary), and a hard
+# >= 90% floor on internal/trace — the record/replay container must stay
+# measurably tested, since a quiet decode bug there corrupts every replay.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@awk 'NR>1 { total+=$$2; if ($$3>0) hit+=$$2; \
+	             if ($$1 ~ /^mil\/internal\/trace\//) { t+=$$2; if ($$3>0) th+=$$2 } } \
+	     END { printf "repo-wide statement coverage: %.1f%%\n", 100*hit/total; \
+	           pct = t ? 100*th/t : 0; \
+	           printf "internal/trace statement coverage: %.1f%%\n", pct; \
+	           if (pct < 90) { print "internal/trace coverage is below the 90% floor"; exit 1 } }' cover.out
+
+# Short fuzz passes over the codec round-trip, corrupted-decode, kernel
+# equivalence, and trace-container properties; CI-sized, not exhaustive.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzRoundTrip -fuzztime=30s ./internal/code/
 	$(GO) test -run=NONE -fuzz=FuzzDecodeCorrupted -fuzztime=30s ./internal/code/
 	$(GO) test -run=NONE -fuzz=FuzzKernelEquivalence -fuzztime=30s ./internal/code/
+	$(GO) test -run=NONE -fuzz=FuzzTraceRoundTrip -fuzztime=30s ./internal/trace/
 
 # Machine-readable sweep + codec timings (BENCH_sweep.json), then the go
 # test benchmarks for spot numbers.

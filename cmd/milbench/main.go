@@ -7,9 +7,22 @@
 //
 //   - the full figure sweep on a reduced workload suite, once serially
 //     (-j 1) and once on the worker pool (-j N); the ratio is the engine's
-//     parallel speedup on this host.
+//     parallel speedup on this host. Both legs share one trace store
+//     (DESIGN.md §5.11), so the serial leg records each front-end timing
+//     class's memory trace and every later cell — the rest of the serial
+//     leg and the whole parallel leg — replays it, simulating only the
+//     memory backend. The simulations field keeps its historical meaning
+//     (full front-end simulations in the parallel, measured leg), while
+//     recorded_traces, trace_hits, and replay_seconds report the recording
+//     work and the reuse it bought.
 //   - every codec's Encode and Decode on random (worst-case) cache lines,
 //     since the codecs dominate per-simulation cost.
+//
+// Past generations of the report accumulate in the trajectory array:
+// whenever milbench overwrites BENCH_sweep.json, the overwritten report's
+// headline numbers are appended, oldest first, so a committed file carries
+// the full performance history across revisions rather than a single
+// before/after pair (the pre-trajectory "previous" field is migrated).
 package main
 
 import (
@@ -25,6 +38,7 @@ import (
 	"mil/internal/code"
 	"mil/internal/experiments"
 	"mil/internal/profiling"
+	"mil/internal/trace"
 
 	"math/rand"
 )
@@ -37,33 +51,50 @@ type report struct {
 	GoMaxProcs int          `json:"gomaxprocs"`
 	Sweep      sweepReport  `json:"sweep"`
 	Codecs     []codecTimes `json:"codecs"`
-	// Previous carries the headline numbers of the report this run
-	// overwrote, so a committed BENCH_sweep.json always shows the
-	// before/after of the revision that regenerated it.
-	Previous *prevReport `json:"previous,omitempty"`
+	// Trajectory holds the headline numbers of every report this file has
+	// carried before, oldest first; each milbench run appends the report it
+	// overwrites. A committed BENCH_sweep.json therefore tracks performance
+	// across every revision that regenerated it, not just the last pair.
+	Trajectory []trajectoryEntry `json:"trajectory,omitempty"`
 }
 
-type prevReport struct {
+type trajectoryEntry struct {
 	Generated       string       `json:"generated"`
 	SerialSeconds   float64      `json:"serial_seconds"`
 	ParallelSeconds float64      `json:"parallel_seconds"`
+	Simulations     int64        `json:"simulations,omitempty"`
+	RecordedTraces  int64        `json:"recorded_traces,omitempty"`
+	TraceHits       int64        `json:"trace_hits,omitempty"`
 	EventsFired     int64        `json:"events_fired,omitempty"`
 	CyclesSkipped   int64        `json:"cycles_skipped,omitempty"`
-	Codecs          []codecTimes `json:"codecs"`
+	Codecs          []codecTimes `json:"codecs,omitempty"`
 }
 
 type sweepReport struct {
-	MemOps          int64    `json:"mem_ops"`
-	Suite           []string `json:"suite"`
-	Tables          int      `json:"tables"`
-	Simulations     int64    `json:"simulations"`
-	Workers         int      `json:"workers"`
-	SerialSeconds   float64  `json:"serial_seconds"`
-	ParallelSeconds float64  `json:"parallel_seconds"`
-	Speedup         float64  `json:"speedup"`
-	// Event-core counters summed over the serial leg's simulations: CPU
-	// cycles the main loop actually fired versus cycles proven no-ops and
-	// skipped. skipped/(fired+skipped) is the work the event core avoids.
+	MemOps  int64    `json:"mem_ops"`
+	Suite   []string `json:"suite"`
+	Tables  int      `json:"tables"`
+	Workers int      `json:"workers"`
+	// Simulations counts full front-end simulations in the parallel
+	// (measured) leg — the same leg every pre-trace-cache report counted,
+	// so the trajectory stays comparable across revisions. With the shared
+	// trace store warm from the serial leg it is the number of cells the
+	// replay engine could NOT serve. RecordedTraces is the recording work
+	// the serial leg paid for that: the number of distinct front-end
+	// timing classes it simulated in full and published. TraceHits counts
+	// the cells satisfied by replay across both legs (ReplaySeconds is
+	// their summed wall-clock).
+	Simulations     int64   `json:"simulations"`
+	RecordedTraces  int64   `json:"recorded_traces"`
+	TraceHits       int64   `json:"trace_hits"`
+	ReplaySeconds   float64 `json:"replay_seconds"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	// Event-core counters summed over the serial leg's fresh simulations:
+	// CPU cycles the main loop actually fired versus cycles proven no-ops
+	// and skipped. skipped/(fired+skipped) is the work the event core
+	// avoids.
 	EventsFired   int64 `json:"events_fired"`
 	CyclesSkipped int64 `json:"cycles_skipped"`
 }
@@ -110,7 +141,7 @@ func main() {
 	}
 
 	names := strings.Split(*suite, ",")
-	prev := loadPrevious(*out)
+	trajectory := loadTrajectory(*out)
 	rep := report{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoOS:       runtime.GOOS,
@@ -119,19 +150,32 @@ func main() {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 
-	serial, _, fired, skipped, err := timeSweep(*ops, names, 1)
+	// Both legs share one trace store: the serial leg records each front-end
+	// timing class once, and every other cell replays, so the sweep's
+	// fresh-simulation count is the number of distinct front ends, not the
+	// number of cells.
+	store := trace.NewStore()
+	serial, rs, err := timeSweep(*ops, names, 1, store)
 	if err != nil {
 		fatal(err)
 	}
-	parallel, sims, _, _, err := timeSweep(*ops, names, *workers)
+	parallel, rp, err := timeSweep(*ops, names, *workers, store)
 	if err != nil {
 		fatal(err)
 	}
+	serialSims, _ := rs.Stats()
+	parallelSims, _ := rp.Stats()
+	serialHits, serialReplay := rs.TraceStats()
+	parallelHits, parallelReplay := rp.TraceStats()
+	fired, skipped := rs.LoopTotals()
 	rep.Sweep = sweepReport{
 		MemOps:          *ops,
 		Suite:           names,
 		Tables:          len(experiments.Generators()),
-		Simulations:     sims,
+		Simulations:     parallelSims,
+		RecordedTraces:  int64(store.Len()),
+		TraceHits:       serialHits + parallelHits,
+		ReplaySeconds:   (serialReplay + parallelReplay).Seconds(),
 		Workers:         *workers,
 		SerialSeconds:   serial.Seconds(),
 		ParallelSeconds: parallel.Seconds(),
@@ -139,8 +183,10 @@ func main() {
 		EventsFired:     fired,
 		CyclesSkipped:   skipped,
 	}
-	fmt.Fprintf(os.Stderr, "milbench: sweep %d sims, serial %.2fs, -j %d %.2fs (%.2fx)\n",
-		sims, serial.Seconds(), *workers, parallel.Seconds(), rep.Sweep.Speedup)
+	fmt.Fprintf(os.Stderr, "milbench: sweep serial %.2fs (%d recorded, %d replayed), -j %d %.2fs (%d fresh, %d replayed; %.2fx)\n",
+		serial.Seconds(), serialSims, serialHits, *workers, parallel.Seconds(), parallelSims, parallelHits, rep.Sweep.Speedup)
+	fmt.Fprintf(os.Stderr, "milbench: trace cache replayed %d cells in %.2fs across both legs\n",
+		rep.Sweep.TraceHits, rep.Sweep.ReplaySeconds)
 	// Guard the empty-timeline case (fired+skipped == 0 would print NaN),
 	// and call fired what it is: landed events, not cycles.
 	skippedPct := 0.0
@@ -164,7 +210,7 @@ func main() {
 		fatal(err)
 	}
 
-	rep.Previous = prev
+	rep.Trajectory = trajectory
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -180,26 +226,25 @@ func main() {
 	fmt.Fprintf(os.Stderr, "milbench: wrote %s\n", *out)
 }
 
-// timeSweep renders every experiment table from a cold cache and returns the
-// wall-clock time, the number of distinct simulations executed, and the
-// summed event-core loop counters.
-func timeSweep(ops int64, suite []string, workers int) (time.Duration, int64, int64, int64, error) {
+// timeSweep renders every experiment table from a cold result cache (the
+// shared trace store is the only state crossing legs) and returns the
+// wall-clock time plus the Runner for its counters.
+func timeSweep(ops int64, suite []string, workers int, store *trace.Store) (time.Duration, *experiments.Runner, error) {
 	r := experiments.NewRunner(ops)
 	r.Suite = suite
 	r.Workers = workers
+	r.Traces = store
 	start := time.Now()
 	tables, err := r.All()
 	if err != nil {
-		return 0, 0, 0, 0, err
+		return 0, nil, err
 	}
 	elapsed := time.Since(start)
 	if len(tables) != len(experiments.Generators()) {
-		return 0, 0, 0, 0, fmt.Errorf("sweep produced %d tables, want %d",
+		return 0, nil, fmt.Errorf("sweep produced %d tables, want %d",
 			len(tables), len(experiments.Generators()))
 	}
-	runs, _ := r.Stats()
-	fired, skipped := r.LoopTotals()
-	return elapsed, runs, fired, skipped, nil
+	return elapsed, r, nil
 }
 
 // timeCodec measures one codec's encode and decode over random cache lines
@@ -253,10 +298,12 @@ func timeCodec(name string, iters int) (codecTimes, error) {
 	}, nil
 }
 
-// loadPrevious distills the report currently at path (if any) into the
-// next report's before-numbers; nested previous sections are dropped so
-// the file never grows beyond one generation of history.
-func loadPrevious(path string) *prevReport {
+// loadTrajectory reads the report currently at path (if any) and returns
+// its trajectory with that report's own headline numbers appended — the
+// history the next report should carry. Reports written before the
+// trajectory existed stored exactly one generation under "previous"; that
+// entry is migrated to the front so no recorded history is ever dropped.
+func loadTrajectory(path string) []trajectoryEntry {
 	if path == "-" {
 		return nil
 	}
@@ -264,18 +311,28 @@ func loadPrevious(path string) *prevReport {
 	if err != nil {
 		return nil
 	}
-	var old report
+	var old struct {
+		report
+		Previous *trajectoryEntry `json:"previous"`
+	}
 	if err := json.Unmarshal(buf, &old); err != nil {
 		return nil
 	}
-	return &prevReport{
+	traj := old.Trajectory
+	if len(traj) == 0 && old.Previous != nil {
+		traj = append(traj, *old.Previous)
+	}
+	return append(traj, trajectoryEntry{
 		Generated:       old.Generated,
 		SerialSeconds:   old.Sweep.SerialSeconds,
 		ParallelSeconds: old.Sweep.ParallelSeconds,
+		Simulations:     old.Sweep.Simulations,
+		RecordedTraces:  old.Sweep.RecordedTraces,
+		TraceHits:       old.Sweep.TraceHits,
 		EventsFired:     old.Sweep.EventsFired,
 		CyclesSkipped:   old.Sweep.CyclesSkipped,
 		Codecs:          old.Codecs,
-	}
+	})
 }
 
 func fatal(err error) {

@@ -16,6 +16,15 @@
 // histogram, summed over every fresh simulation) to the file, truncating
 // any previous content. The snapshot is byte-identical for every -j too.
 //
+// -trace-cache turns on the record/replay second-level cache (DESIGN.md
+// §5.11): the first cell of each front-end timing class records its memory
+// trace during a full simulation, and every sibling cell replays it,
+// simulating only the memory backend. Tables are byte-identical with the
+// flag on or off — the replay driver verifies every recorded cycle and
+// falls back to a full simulation on divergence. Incompatible with -stats
+// (replayed cells skip the front end, making the snapshot
+// scheduling-dependent).
+//
 // Long sweeps are crash-safe with -resume file: every completed cell is
 // appended to the JSONL journal as it settles, and rerunning the same
 // command after a crash (or Ctrl-C) replays the journal, skips the
@@ -39,6 +48,7 @@ import (
 	"mil/internal/experiments"
 	"mil/internal/obs"
 	"mil/internal/sim"
+	"mil/internal/trace"
 )
 
 func main() {
@@ -53,8 +63,18 @@ func main() {
 		stats    = flag.String("stats", "", "write the aggregated observability metrics snapshot (CSV) to this file (truncated, not appended)")
 		resume   = flag.String("resume", "", "journal completed cells to this file and skip them when rerun (crash-safe sweeps)")
 		timeout  = flag.Duration("cell-timeout", 0, "wall-clock budget per simulation, retried with backoff (0 = unbounded)")
+		traceOn  = flag.Bool("trace-cache", false, "replay recorded memory traces across cells sharing a front-end timing class (tables are byte-identical either way)")
 	)
 	flag.Parse()
+
+	if *traceOn && *stats != "" {
+		// Which cell of a class records its trace is scheduling-dependent
+		// under -j > 1, which would break the -stats snapshot's byte-identity
+		// across worker counts; refuse the combination rather than silently
+		// disabling one side.
+		fmt.Fprintln(os.Stderr, "milexp: -trace-cache cannot combine with -stats (replayed cells skip the front end, so the metrics snapshot would depend on scheduling)")
+		os.Exit(2)
+	}
 
 	r := experiments.NewRunner(*ops)
 	r.Workers = *workers
@@ -62,6 +82,9 @@ func main() {
 	r.CellTimeout = *timeout
 	if *stats != "" {
 		r.Metrics = obs.NewRegistry()
+	}
+	if *traceOn {
+		r.Traces = trace.NewStore()
 	}
 	if *progress && !*quiet {
 		r.Progress = os.Stderr
@@ -112,6 +135,10 @@ func main() {
 		runs, simTime := r.Stats()
 		fmt.Fprintf(os.Stderr, "milexp: %d simulations, %.1fs simulated serially, %.1fs wall\n",
 			runs, simTime.Seconds(), time.Since(start).Seconds())
+		if hits, replayTime := r.TraceStats(); hits > 0 {
+			fmt.Fprintf(os.Stderr, "milexp: %d cells replayed from recorded traces (%.1fs)\n",
+				hits, replayTime.Seconds())
+		}
 	}
 
 	if *out == "" {

@@ -23,6 +23,19 @@
 // byte-identical at any worker count. -cmdlog file keeps the older
 // plain-text command log (one line per command; forces -j 1).
 //
+// Record/replay (DESIGN.md §5.11): -record-trace file writes the run's
+// memory trace — the ordered request stream at the cache↔memctrl boundary —
+// after a normal full simulation. -replay-trace file replays one, driving
+// the memory controller directly (no cores, caches, or workload streams)
+// and reproducing the full simulation's report byte for byte; the replayed
+// scheme may be any scheme in the same front-end timing class as the
+// recording one (e.g. a baseline trace replays for raw and bi). The file
+// carries the recording configuration's front-end hash, and a mismatched
+// replay is rejected up front; a trace that diverges mid-replay (a wrong
+// same-class assumption) fails with a divergence error rather than
+// reporting silently wrong numbers. Both flags are single-run only and
+// reject -bench all and -checkpoint/-resume.
+//
 // Checkpoint/resume (DESIGN.md §5.10): -checkpoint file arms suspension —
 // SIGINT/SIGTERM snapshot the run to the file and exit with status 3
 // (a second signal kills immediately). -checkpoint-every N additionally
@@ -56,6 +69,7 @@ import (
 	"mil/internal/obs"
 	"mil/internal/profiling"
 	"mil/internal/sim"
+	memtrace "mil/internal/trace"
 	"mil/internal/workload"
 )
 
@@ -72,6 +86,9 @@ func main() {
 		trace   = flag.String("trace", "", "write a Perfetto (Chrome trace-event) JSON trace to this file (single benchmark only)")
 		metrics = flag.String("metrics", "", "write the observability metrics snapshot (CSV) to this file")
 		cmdlog  = flag.String("cmdlog", "", "write a plain-text DRAM command log to this file")
+
+		recordTrace = flag.String("record-trace", "", "record the run's memory trace to this file (single benchmark only)")
+		replayTrace = flag.String("replay-trace", "", "replay a recorded memory trace, simulating only the memory backend (single benchmark only)")
 
 		ber      = flag.Float64("ber", 0, "link bit-error rate per driven bit-time (0 = clean link)")
 		bursterr = flag.Float64("bursterr", 0, "per-transfer probability of a correlated error burst")
@@ -107,6 +124,15 @@ func main() {
 			if *checkpoint != "" || *resume != "" {
 				return fmt.Errorf("-checkpoint/-resume describe a single run; pick one benchmark instead of -bench all")
 			}
+			if *recordTrace != "" || *replayTrace != "" {
+				return fmt.Errorf("-record-trace/-replay-trace describe a single run; pick one benchmark instead of -bench all")
+			}
+		}
+		if *recordTrace != "" && *replayTrace != "" {
+			return fmt.Errorf("-record-trace and -replay-trace are mutually exclusive (a replayed run has no front end to record)")
+		}
+		if (*recordTrace != "" || *replayTrace != "") && (*checkpoint != "" || *resume != "") {
+			return fmt.Errorf("-record-trace/-replay-trace cannot combine with -checkpoint/-resume (the trace layer and the snapshot layer each own the run)")
 		}
 		if *checkpoint == "" && (*checkpointEvery > 0 || *checkpointAt > 0) {
 			return fmt.Errorf("-checkpoint-every/-checkpoint-at need -checkpoint to name the snapshot file")
@@ -219,6 +245,11 @@ func main() {
 	sem := make(chan struct{}, j)
 	var wg sync.WaitGroup
 	var progressMu sync.Mutex
+	// The memory trace of a -record-trace run, and the front-end hash that
+	// binds the file (single-run only, so no synchronization needed beyond
+	// the WaitGroup).
+	var recorded *memtrace.Trace
+	var recordedHash uint64
 	for i, name := range benches {
 		b, err := workload.ByName(name)
 		if err != nil {
@@ -232,7 +263,7 @@ func main() {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			start := time.Now()
-			res, err := sim.Run(sim.Config{
+			cfg := sim.Config{
 				System: kind, Scheme: *scheme, Benchmark: b,
 				MemOpsPerThread: *ops, LookaheadX: *x, Verify: *verify,
 				PowerDown: *pd, Trace: traceW, Obs: obsLayer,
@@ -242,7 +273,20 @@ func main() {
 				Steplock: *steplock,
 				Checkpoint: *checkpoint, CheckpointEvery: *checkpointEvery,
 				CheckpointAt: *checkpointAt, Interrupt: intr, Resume: *resume,
-			})
+			}
+			if *recordTrace != "" {
+				recordedHash = cfg.FrontEndHash()
+				cfg.RecordTrace = func(t *memtrace.Trace) { recorded = t }
+			}
+			if *replayTrace != "" {
+				tr, err := memtrace.ReadFile(*replayTrace, cfg.FrontEndHash())
+				if err != nil {
+					results[i] = outcome{nil, err}
+					return
+				}
+				cfg.ReplayTrace = tr
+			}
+			res, err := sim.Run(cfg)
 			results[i] = outcome{res, err}
 			if *progress {
 				progressMu.Lock()
@@ -267,6 +311,13 @@ func main() {
 		report(o.res)
 	}
 
+	if *recordTrace != "" && recorded != nil {
+		if err := memtrace.WriteFile(*recordTrace, recordedHash, recorded); err != nil {
+			fmt.Fprintln(os.Stderr, "milsim:", err)
+			exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "milsim: recorded %d boundary events to %s\n", len(recorded.Events), *recordTrace)
+	}
 	if rec != nil {
 		if err := writeFileWith(*trace, rec.WriteJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "milsim:", err)

@@ -132,6 +132,17 @@ type Hierarchy struct {
 	// obs, when non-nil, carries the hierarchy's metric handles; nil (the
 	// default) keeps every instrumented site on a single-branch path.
 	obs *hierObs
+
+	// Boundary backpressure counters for the trace record/replay layer
+	// (DESIGN.md §5.11): always-on plain mirrors of the wbQueued/fillRetry/
+	// wbPeak obs handles, so a recorded trace can reproduce a full run's
+	// metrics CSV without the hierarchy present. Deliberately not part of
+	// Stats (they measure the port boundary, not the caches) and not
+	// serialized in snapshots (trace recording and resume are mutually
+	// exclusive, so they never need to survive one).
+	wbBackpressure int64
+	fillRetries    int64
+	wbQueuePeak    int64
 }
 
 // hierObs holds the hierarchy's pre-resolved observability handles.
@@ -154,6 +165,12 @@ func (h *Hierarchy) SetObs(o *obs.Obs) {
 		pfDropped: o.Counter("cache_prefetch_dropped_total"),
 		wbPeak:    o.Gauge("cache_wb_queue_peak"),
 	}
+}
+
+// BoundaryStats reports the port-boundary backpressure counters the trace
+// recorder folds into a trace (see the field comments above).
+func (h *Hierarchy) BoundaryStats() (wbBackpressure, fillRetries, wbQueuePeak int64) {
+	return h.wbBackpressure, h.fillRetries, h.wbQueuePeak
 }
 
 // NewHierarchy builds the hierarchy over a memory port.
@@ -333,6 +350,7 @@ func (h *Hierarchy) dropPrefetch() {
 // queueFillRetry records a port-rejected fill and queues its replay.
 func (h *Hierarchy) queueFillRetry(line int64) {
 	h.retryQ = append(h.retryQ, line)
+	h.fillRetries++
 	if h.obs != nil {
 		h.obs.fillRetry.Inc()
 	}
@@ -448,6 +466,10 @@ func (h *Hierarchy) writeback(line int64) {
 	h.stats.Writebacks++
 	if !h.port.WriteLine(line, 0) {
 		h.wbQueue = append(h.wbQueue, line)
+		h.wbBackpressure++
+		if n := int64(len(h.wbQueue)); n > h.wbQueuePeak {
+			h.wbQueuePeak = n
+		}
 		if h.obs != nil {
 			h.obs.wbQueued.Inc()
 			h.obs.wbPeak.Max(int64(len(h.wbQueue)))

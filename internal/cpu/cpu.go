@@ -111,7 +111,15 @@ type Processor struct {
 	// threadBlocks, when attached via SetObs, counts transitions into the
 	// blocked state (a core wedged on a demand miss). Nil is a no-op.
 	threadBlocks *obs.Counter
+	// blocks is the always-on mirror of threadBlocks, kept for the trace
+	// record/replay layer (DESIGN.md §5.11) so a replayed run can report
+	// the counter without the processor present. Not serialized in
+	// snapshots: trace recording and resume are mutually exclusive.
+	blocks int64
 }
+
+// ThreadBlocks reports the number of transitions into the blocked state.
+func (p *Processor) ThreadBlocks() int64 { return p.blocks }
 
 // SetObs attaches the observability layer. Nil-safe: a disabled Obs
 // leaves the processor on its zero-cost path.
@@ -255,12 +263,14 @@ func (p *Processor) step(ti int, t *thread, now int64) {
 				t.inflight++
 				if t.inflight >= p.cfg.MaxOutstanding {
 					t.blocked = true // miss window full: stall until one returns
+					p.blocks++
 					p.threadBlocks.Inc()
 				} else {
 					t.readyAt = now + 1 // keep running under the miss
 				}
 			} else {
 				t.blocked = true
+				p.blocks++
 				p.threadBlocks.Inc()
 			}
 		case cache.Retry:

@@ -31,6 +31,7 @@ import (
 	"mil/internal/fault"
 	"mil/internal/obs"
 	"mil/internal/sim"
+	"mil/internal/trace"
 	"mil/internal/workload"
 )
 
@@ -139,6 +140,26 @@ type Runner struct {
 	// sim.ErrDeadline. The backoff absorbs transient slowness (a loaded
 	// machine) without letting one pathological cell wedge the sweep.
 	CellTimeout time.Duration
+	// Traces, when non-nil, turns on the record/replay second-level cache
+	// (DESIGN.md §5.11). The first cell of each front-end timing class
+	// records its memory trace while simulating in full; every later cell
+	// of the class replays the trace, simulating only the memory backend.
+	// The store may be shared between Runners (cmd/milbench shares one
+	// across its serial and parallel legs) — traces are keyed by the full
+	// FrontEndKey, so two Runners can only exchange traces when their
+	// MemOps, seeds, and suite agree. Ignored when Metrics is set: which
+	// cell of a class records is scheduling-dependent under Workers > 1,
+	// and replayed cells skip the front end, so the metrics snapshot would
+	// lose its byte-identity across worker counts. Journal-restored cells
+	// never reach the trace store: the journal pre-seeds the first-level
+	// cache, which is consulted first.
+	//
+	// Throughput caveat: a cell waiting for its class's recording leader
+	// blocks while holding a worker slot, so a sweep dominated by one class
+	// briefly serializes behind the recorder. The recording run costs the
+	// same as the plain run (recording is allocation-light), and replays
+	// are strictly cheaper, so the sweep never loses time overall.
+	Traces *trace.Store
 
 	mu    sync.Mutex
 	cache map[string]*inflight
@@ -148,9 +169,11 @@ type Runner struct {
 	journalMu sync.Mutex
 	journal   *os.File
 
-	launched atomic.Int64
-	finished atomic.Int64
-	simNanos atomic.Int64
+	launched    atomic.Int64
+	finished    atomic.Int64
+	simNanos    atomic.Int64
+	traceHits   atomic.Int64
+	replayNanos atomic.Int64
 
 	eventsFired   atomic.Int64
 	cyclesSkipped atomic.Int64
@@ -176,6 +199,14 @@ func NewRunner(memOps int64) *Runner {
 // single-threaded wall-clock cost (the serial-equivalent time).
 func (r *Runner) Stats() (runs int64, simTime time.Duration) {
 	return r.finished.Load(), time.Duration(r.simNanos.Load())
+}
+
+// TraceStats reports how many cells were satisfied by replaying a recorded
+// memory trace instead of a full simulation, and their summed wall-clock
+// cost. Replayed cells are excluded from Stats and LoopTotals: they run no
+// front end, so counting them as simulations would overstate the sweep.
+func (r *Runner) TraceStats() (hits int64, replayTime time.Duration) {
+	return r.traceHits.Load(), time.Duration(r.replayNanos.Load())
 }
 
 // LoopTotals reports the event-core counters summed over every fresh
@@ -279,15 +310,21 @@ func (r *Runner) result(cfg sim.Config, label string) (*sim.Result, error) {
 	sem <- struct{}{}
 	seq := r.launched.Add(1)
 	start := time.Now()
-	e.res, e.err = r.runCell(cfg)
+	var replayed bool
+	e.res, e.err, replayed = r.runCellTraced(cfg)
 	elapsed := time.Since(start)
 	<-sem
 
-	r.finished.Add(1)
-	r.simNanos.Add(int64(elapsed))
-	if e.res != nil {
-		r.eventsFired.Add(e.res.Loop.EventsFired)
-		r.cyclesSkipped.Add(e.res.Loop.CyclesSkipped)
+	if replayed {
+		r.traceHits.Add(1)
+		r.replayNanos.Add(int64(elapsed))
+	} else {
+		r.finished.Add(1)
+		r.simNanos.Add(int64(elapsed))
+		if e.res != nil {
+			r.eventsFired.Add(e.res.Loop.EventsFired)
+			r.cyclesSkipped.Add(e.res.Loop.CyclesSkipped)
+		}
 	}
 	if e.err == nil {
 		if jerr := r.appendJournal(key, e.res); jerr != nil {
@@ -295,13 +332,59 @@ func (r *Runner) result(cfg sim.Config, label string) (*sim.Result, error) {
 		}
 	}
 	if r.Progress != nil {
+		how := ""
+		if replayed {
+			how = ", replay"
+		}
 		r.mu.Lock()
-		fmt.Fprintf(r.Progress, "run %d: %s ops=%d seed=%d (%.0fms)\n",
-			seq, label, cfg.MemOpsPerThread, cfg.Seed, float64(elapsed.Milliseconds()))
+		fmt.Fprintf(r.Progress, "run %d: %s ops=%d seed=%d (%.0fms%s)\n",
+			seq, label, cfg.MemOpsPerThread, cfg.Seed, float64(elapsed.Milliseconds()), how)
 		r.mu.Unlock()
 	}
 	close(e.done)
 	return e.res, e.err
+}
+
+// runCellTraced is runCell behind the trace cache. When a Store is attached
+// (and Metrics is not — see the Traces field), the first cell of each
+// front-end timing class records its memory trace while simulating in full
+// and publishes it; every later cell of the class replays the trace,
+// simulating only the backend. replayed reports which path produced the
+// result, so the caller can keep fresh-simulation accounting honest. Any
+// replay failure — which the replay driver's cycle-by-cycle verification
+// turns into a divergence error rather than silently wrong numbers — falls
+// back to a full simulation.
+func (r *Runner) runCellTraced(cfg sim.Config) (res *sim.Result, err error, replayed bool) {
+	if r.Traces == nil || r.Metrics != nil {
+		res, err = r.runCell(cfg)
+		return res, err, false
+	}
+	tr, leader, publish, abort := r.Traces.Acquire(cfg.FrontEndKey())
+	switch {
+	case tr != nil:
+		rcfg := cfg
+		rcfg.ReplayTrace = tr
+		if res, err = r.runCell(rcfg); err == nil {
+			return res, nil, true
+		}
+		res, err = r.runCell(cfg)
+		return res, err, false
+	case leader:
+		var rec *trace.Trace
+		rcfg := cfg
+		rcfg.RecordTrace = func(t *trace.Trace) { rec = t }
+		res, err = r.runCell(rcfg)
+		if err == nil && rec != nil {
+			publish(rec)
+		} else {
+			abort()
+		}
+		return res, err, false
+	default:
+		// The leader aborted (its simulation failed); run plainly.
+		res, err = r.runCell(cfg)
+		return res, err, false
+	}
 }
 
 // cellAttempts bounds the deadline-retry loop in runCell.

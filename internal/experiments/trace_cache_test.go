@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mil/internal/obs"
+	"mil/internal/trace"
+)
+
+// renderRunner runs the full generator set on r and renders every table
+// into one byte stream.
+func renderRunner(t *testing.T, r *Runner) string {
+	t.Helper()
+	tables, err := r.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, tab := range tables {
+		sb.WriteString(tab.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// renderAllTraced is renderAll with a trace store attached, returning the
+// Runner so tests can inspect its counters.
+func renderAllTraced(t *testing.T, workers int, seed uint64) (string, *Runner) {
+	t.Helper()
+	r := NewRunner(determinismOps())
+	r.Suite = []string{"MM", "GUPS"}
+	r.Workers = workers
+	r.BaseSeed = seed
+	r.Traces = trace.NewStore()
+	return renderRunner(t, r), r
+}
+
+// TestTraceCacheEquivalence is the sweep-level replay contract: attaching a
+// trace store must not change a single byte of any table, must satisfy a
+// healthy share of cells by replay, and must stay deterministic across
+// worker counts.
+func TestTraceCacheEquivalence(t *testing.T) {
+	plainRunner := NewRunner(determinismOps())
+	plainRunner.Suite = []string{"MM", "GUPS"}
+	plainRunner.Workers = 8
+	plainRunner.BaseSeed = 42
+	plain := renderRunner(t, plainRunner)
+	plainFresh, _ := plainRunner.Stats()
+
+	traced, r := renderAllTraced(t, 8, 42)
+	if plain != traced {
+		t.Fatalf("trace store changed the sweep output:\n%s", firstDiff(plain, traced))
+	}
+	hits, replayTime := r.TraceStats()
+	if hits == 0 {
+		t.Fatal("trace store attached but no cell was satisfied by replay")
+	}
+	if replayTime <= 0 {
+		t.Fatalf("%d replays accounted no wall-clock time", hits)
+	}
+	fresh, _ := r.Stats()
+	// Every cell is either fresh or replayed; a shortfall means a replay
+	// diverged and fell back (the tables would still be right, but the
+	// trace layer would be silently useless for that class).
+	if fresh+hits != plainFresh {
+		t.Fatalf("cell accounting drifted: %d fresh + %d replayed != %d cells without a store",
+			fresh, hits, plainFresh)
+	}
+	t.Logf("sweep: %d cells, %d fresh front-end simulations, %d replays", plainFresh, fresh, hits)
+
+	serial, rs := renderAllTraced(t, 1, 42)
+	if serial != traced {
+		t.Fatalf("traced sweep differs between -j 1 and -j 8:\n%s", firstDiff(serial, traced))
+	}
+	if h, _ := rs.TraceStats(); h != hits {
+		t.Fatalf("-j 1 replayed %d cells, -j 8 replayed %d; the split must not depend on scheduling", h, hits)
+	}
+}
+
+// TestTraceCacheIgnoredWithMetrics pins the Traces/Metrics exclusion: with
+// a registry attached the store must stay cold (which cell of a class
+// records is scheduling-dependent, and would break metrics byte-identity
+// across worker counts).
+func TestTraceCacheIgnoredWithMetrics(t *testing.T) {
+	r := NewRunner(determinismOps())
+	r.Suite = []string{"MM", "GUPS"}
+	r.Workers = 4
+	r.Metrics = obs.NewRegistry()
+	r.Traces = trace.NewStore()
+	if _, err := r.All(); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := r.TraceStats(); hits != 0 {
+		t.Fatalf("trace store served %d replays under a metrics registry", hits)
+	}
+	if r.Traces.Len() != 0 {
+		t.Fatalf("trace store holds %d entries under a metrics registry", r.Traces.Len())
+	}
+}

@@ -106,6 +106,96 @@ func SchemeNames() []string {
 	}
 }
 
+// timingClass maps a scheme (plus its look-ahead override) onto its
+// front-end timing-equivalence class. Two configurations that agree on
+// everything else and share a class produce the *identical* request stream
+// at the cache↔memctrl boundary — same clocks, addresses, priorities, and
+// completion times — so one recorded trace replays for all of them. The
+// codec only feeds back into front-end timing through the burst length the
+// policy picks, hence:
+//
+//   - baseline/bi/raw all drive fixed 8-beat bursts ("fixed8"): DBI,
+//     wire-level bus-invert, and uncoded transfers differ on the pins, not
+//     on the schedule.
+//   - a fixed policy's schedule depends on its codec only through the
+//     burst beat count and the codec's ExtraLatency: milc/bl10 run the
+//     identical MiLC codec ("fixed10"), lwc3/bl16 the identical 3-LWC
+//     ("fixed16"). cafo2/cafo4 are 10-beat too but add 2 and 4 cycles of
+//     encode latency, so they are NOT in fixed10 (the replay driver's
+//     divergence check catches exactly this kind of wishful merge).
+//   - mil and mil-degrade are identical while no faults fire (the ladder's
+//     level 0 delegates verbatim and can only demote on link errors), and
+//     a look-ahead of 0 means the scheme default, so x=0 ≡ x=default.
+//     Distinct look-ahead distances do NOT merge: on streaming workloads
+//     the bus slack hides any x (STRMATCH replays byte-identically across
+//     x = 2..14), but on random-access GUPS the slack runs out and a
+//     shorter look-ahead shifts read completions by a few cycles — the
+//     replay fence rejects the cross-x replay there, so each x stays its
+//     own class rather than relying on workload-dependent luck.
+//   - with fault injection enabled, error draws depend on the bits each
+//     codec drives, which feeds back into retry timing — every scheme
+//     becomes its own class.
+//
+// Everything else (cafo/bl12/bl14/mil3/mil-x4/mil-nowropt and unknown
+// schemes) is conservatively a singleton class.
+func timingClass(scheme string, lookaheadX int, faultEnabled bool) string {
+	la := 0
+	switch scheme {
+	case "mil", "mil-degrade", "mil-nowropt":
+		la = lookaheadX
+		if la == 0 {
+			la = milcore.DefaultLookahead
+		}
+	}
+	if faultEnabled {
+		return fmt.Sprintf("fault:%s|x=%d", scheme, la)
+	}
+	switch scheme {
+	case "baseline", "bi", "raw":
+		return "fixed8"
+	case "milc", "bl10":
+		return "fixed10"
+	case "lwc3", "bl16":
+		return "fixed16"
+	case "mil", "mil-degrade":
+		return fmt.Sprintf("mil|x=%d", la)
+	}
+	return fmt.Sprintf("%s|x=%d", scheme, la)
+}
+
+// FrontEndKey renders every configuration field that shapes the request
+// stream at the cache↔memctrl boundary. Scheme and LookaheadX enter only
+// through their timing class — that collapse is exactly what makes trace
+// reuse across codec/policy cells sound. Steplock is included because a
+// replayed Result reports the recorded run's loop counters; fault and
+// retry knobs are included in full because retries feed controller timing
+// back into the front-end.
+func (c *Config) FrontEndKey() string {
+	benchName := ""
+	if c.Benchmark != nil {
+		benchName = c.Benchmark.Name
+	}
+	return fmt.Sprintf("mil-fe-v1|sys=%d|class=%s|bench=%s|ops=%d|max=%d|verify=%v|pd=%v"+
+		"|ber=%g|brate=%g|blen=%d|stuck=%v|stuckv=%v|fseed=%d"+
+		"|crc=%v|ca=%v|retry=%d/%d/%d/%d|seed=%d|steplock=%v",
+		c.System, timingClass(c.Scheme, c.LookaheadX, c.Fault.Enabled()), benchName,
+		c.MemOpsPerThread, c.MaxCPUCycles, c.Verify, c.PowerDown,
+		c.Fault.BER, c.Fault.BurstRate, c.Fault.BurstLen, c.Fault.StuckPins, c.Fault.StuckVal, c.Fault.Seed,
+		c.WriteCRC, c.CAParity, c.Retry.MaxRetries, c.Retry.BackoffBase, c.Retry.BackoffMax, c.Retry.StormThreshold,
+		c.Seed, c.Steplock)
+}
+
+// FrontEndHash is the FNV-1a hash of FrontEndKey; trace files bind to it
+// the way snapshots bind to Config.Hash.
+func (c *Config) FrontEndHash() uint64 {
+	s := c.FrontEndKey()
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
 // schemeFor builds the policy and phy factory for a scheme on a platform.
 // lookaheadX overrides MiL's look-ahead distance when > 0.
 func schemeFor(name string, p platform, lookaheadX int) (memctrl.Policy, func() memctrl.Phy, error) {

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"fmt"
+
+	"mil/internal/energy"
+	"mil/internal/memctrl"
+	"mil/internal/milcore"
+	"mil/internal/trace"
+)
+
+// replayRun executes a configuration by driving the memory system straight
+// from a recorded trace (DESIGN.md §5.11). The cores, caches, and workload
+// streams never run: their contribution to the Result — cycle counts,
+// instruction totals, cache statistics, loop counters — is carried by the
+// trace, and is identical for every configuration sharing the trace's
+// front end (FrontEndKey). Only the backend is simulated: the controller,
+// the DRAM devices, the codec/policy under test, and the phy with its
+// fault injectors, all built by the same buildMemSystem a full run uses.
+//
+// The replay contract: for any configuration whose FrontEndKey equals the
+// recording configuration's, the returned Result is byte-identical to what
+// a full simulation of this configuration would produce. The driver does
+// not take that on faith — every recorded acceptance and completion cycle
+// is verified against the live controller, and any mismatch fails the run
+// with a divergence error instead of returning silently wrong numbers.
+func replayRun(cfg Config) (*Result, error) {
+	tr := cfg.ReplayTrace
+	plat := platformFor(cfg.System)
+	policy, memSys, _, err := buildMemSystem(&cfg, plat)
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.Obs.Enabled() {
+		if cfg.Obs.Trace != nil {
+			cfg.Obs.Trace.SetTimebase(plat.dram.ClockNS / 2)
+		}
+		memSys.SetObs(cfg.Obs)
+		if d, ok := policy.(*milcore.Degrader); ok {
+			d.SetObs(cfg.Obs)
+		}
+	}
+
+	if err := driveReplay(memSys, tr); err != nil {
+		return nil, fmt.Errorf("sim: replay of %s/%s/%s diverged: %w",
+			cfg.System, cfg.Scheme, cfg.Benchmark.Name, err)
+	}
+
+	dramCycles := tr.DRAMCycles
+	seconds := float64(dramCycles) * plat.dram.ClockNS * 1e-9
+	memSys.FlushObs() // close the trailing idle-window run
+	stats := memSys.Stats()
+
+	breakdown, err := energy.DRAMEnergy(plat.power, plat.dram, plat.channels, stats, dramCycles)
+	if err != nil {
+		return nil, err
+	}
+	cpuJ := energy.CPUEnergy(plat.cpuPower, seconds, tr.Instructions)
+	retryJ := energy.RetryEnergyJ(plat.power, stats)
+	if cfg.Obs.Enabled() {
+		o := cfg.Obs
+		o.Counter("sim_runs_total").Inc()
+		o.Counter("sim_cpu_cycles_total").Add(tr.CPUCycles)
+		o.Counter("sim_dram_cycles_total").Add(dramCycles)
+		o.Counter("loop_events_fired_total").Add(tr.EventsFired)
+		o.Counter("loop_cycles_skipped_total").Add(tr.CyclesSkipped)
+		energy.RecordMetrics(o, breakdown, cpuJ, retryJ)
+		// Counters owned by the components replay skips, restored from the
+		// trace so a replayed run's metrics CSV matches a full run's.
+		o.Counter("cpu_thread_blocks_total").Add(tr.ThreadBlocks)
+		o.Counter("cache_wb_backpressure_total").Add(tr.WBBackpressure)
+		o.Counter("cache_fill_retry_total").Add(tr.FillRetries)
+		o.Counter("cache_prefetch_dropped_total").Add(tr.Cache.PrefetchesDropped)
+		o.Gauge("cache_wb_queue_peak").Max(tr.WBQueuePeak)
+	}
+	return &Result{
+		System:       cfg.System,
+		Scheme:       cfg.Scheme,
+		Benchmark:    cfg.Benchmark.Name,
+		CPUCycles:    tr.CPUCycles,
+		DRAMCycles:   tr.DRAMCycles,
+		Seconds:      seconds,
+		Instructions: tr.Instructions,
+		Mem:          stats,
+		Cache:        tr.Cache,
+		Loop:         LoopStats{EventsFired: tr.EventsFired, CyclesSkipped: tr.CyclesSkipped, Steplock: tr.Steplock},
+		DRAM:         breakdown,
+		CPUJ:         cpuJ,
+		RetryJ:       retryJ,
+	}, nil
+}
+
+// driveReplay walks the memory system across the recorded timeline. The
+// cadence rules mirror the main loops:
+//
+//   - Cycle 0 always fires (both loop modes land CPU cycle 0, which ticks
+//     DRAM cycle 0), and SkipUntil can only account cycles *after* the
+//     current one — so the driver starts with a real Tick(0).
+//   - In a recorded run, every request accepted at DRAM cycle d was
+//     enqueued after the controller covered d and before it covered d+1,
+//     so events apply immediately after the driver lands on their clock.
+//   - Between event clocks the driver follows memSys.NextWake: refreshes,
+//     power-down transitions, and scheduled issues come due between
+//     requests and must tick exactly as in the recorded run. NextWake's
+//     lower-bound contract guarantees no acting cycle is jumped over, and
+//     extra no-op ticks are harmless — the PR-4 loop-equivalence property
+//     (steplock ≡ event skipping, byte-identical) is precisely that the
+//     statistics do not depend on which no-op cycles are ticked vs
+//     bulk-accounted.
+//
+// The total accounted cycles equal the trace's DRAMCycles, so the
+// controller's Ticks/occupancy/Figure-5 statistics reconcile exactly with
+// a full run's.
+func driveReplay(memSys *memctrl.System, tr *trace.Trace) error {
+	finalD := tr.DRAMCycles - 1
+	events := tr.Events
+	liveRd := make(map[int64]*memctrl.Request)
+	var divergence error
+	diverge := func(format string, args ...any) {
+		if divergence == nil {
+			divergence = fmt.Errorf(format, args...)
+		}
+	}
+	last := int64(-1)
+	tick := func(d int64) {
+		if d > last+1 {
+			memSys.SkipUntil(d - 1)
+		}
+		memSys.Tick(d)
+		last = d
+	}
+	apply := func(e *trace.Event) {
+		switch e.Kind {
+		case trace.ReadAccept:
+			req := &memctrl.Request{Line: e.Line, Demand: e.Demand, Stream: e.Stream}
+			line, want := e.Line, e.DoneAt
+			req.OnDone = func(done int64) {
+				delete(liveRd, line)
+				if done != want {
+					diverge("read of line %d completed at cycle %d, recorded %d", line, done, want)
+				}
+			}
+			if !memSys.Enqueue(req, e.Clock) {
+				diverge("read of line %d rejected at cycle %d (accepted when recorded)", e.Line, e.Clock)
+				return
+			}
+			liveRd[line] = req
+		case trace.WriteAccept:
+			req := &memctrl.Request{Line: e.Line, Write: true, Stream: e.Stream, Data: e.Data}
+			line, want := e.Line, e.DoneAt
+			req.OnDone = func(done int64) {
+				if done != want {
+					diverge("write of line %d completed at cycle %d, recorded %d", line, done, want)
+				}
+			}
+			if !memSys.Enqueue(req, e.Clock) {
+				diverge("write of line %d rejected at cycle %d (accepted when recorded)", e.Line, e.Clock)
+			}
+		case trace.Promote:
+			if req := liveRd[e.Line]; req != nil {
+				req.Demand = true
+			} else {
+				diverge("promote of line %d at cycle %d with no read in flight", e.Line, e.Clock)
+			}
+		}
+	}
+
+	i := 0
+	tick(0)
+	for ; i < len(events) && events[i].Clock == 0; i++ {
+		apply(&events[i])
+	}
+	for last < finalD && divergence == nil {
+		next := memSys.NextWake()
+		if i < len(events) && events[i].Clock < next {
+			next = events[i].Clock
+		}
+		if next <= last {
+			next = last + 1
+		}
+		if next > finalD {
+			// Nothing acts between here and the horizon; bulk-account the
+			// tail so total accounted cycles equal the recorded DRAMCycles.
+			memSys.SkipUntil(finalD)
+			last = finalD
+			break
+		}
+		tick(next)
+		for ; i < len(events) && events[i].Clock == next; i++ {
+			apply(&events[i])
+		}
+	}
+	if divergence != nil {
+		return divergence
+	}
+	if i < len(events) {
+		return fmt.Errorf("%d events unapplied at the recorded %d-cycle horizon", len(events)-i, tr.DRAMCycles)
+	}
+	if memSys.Pending() {
+		return fmt.Errorf("requests still pending at the recorded %d-cycle horizon (the recorded run drained)", tr.DRAMCycles)
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"mil/internal/milcore"
 	"mil/internal/obs"
 	"mil/internal/sched"
+	"mil/internal/trace"
 	"mil/internal/workload"
 )
 
@@ -93,6 +94,25 @@ type Config struct {
 	// wall clock passes it (polled every few thousand landed cycles). The
 	// experiment runner uses it for per-cell timeouts.
 	Deadline time.Time
+
+	// The fields below control trace record/replay (DESIGN.md §5.11).
+	// Neither participates in Config.Hash: recording never changes a
+	// result, and a replayed run must report results under the replaying
+	// cell's own configuration.
+
+	// RecordTrace, when non-nil, receives the run's memory trace — the
+	// ordered request stream at the cache↔memctrl boundary plus the
+	// front-end totals — after the run completes. Recording is
+	// result-neutral. Incompatible with checkpoint/resume: the recorder
+	// wraps request completion callbacks that a snapshot cannot re-link.
+	RecordTrace func(*trace.Trace)
+	// ReplayTrace, when non-nil, drives the memory system directly from
+	// the trace instead of simulating cores, caches, and workload streams.
+	// The caller is responsible for the front-end match (trace files bind
+	// to FrontEndHash; the sweep engine keys its store by FrontEndKey) —
+	// and the replay driver independently verifies every acceptance and
+	// completion cycle against the trace, failing loudly on divergence.
+	ReplayTrace *trace.Trace
 }
 
 // Validate reports configuration errors before any machinery is built.
@@ -124,6 +144,17 @@ func (c *Config) Validate() error {
 	}
 	if (c.CheckpointEvery > 0 || c.CheckpointAt > 0) && c.Checkpoint == "" {
 		return fmt.Errorf("sim: periodic or targeted checkpointing needs a checkpoint file path")
+	}
+	if c.ReplayTrace != nil {
+		if c.RecordTrace != nil {
+			return fmt.Errorf("sim: cannot record a trace while replaying one")
+		}
+		if c.Checkpoint != "" || c.Resume != "" || c.Interrupt != nil {
+			return fmt.Errorf("sim: replay cannot combine with checkpoint/resume (a replayed run has no core or cache state to snapshot)")
+		}
+	}
+	if c.RecordTrace != nil && (c.Checkpoint != "" || c.Resume != "") {
+		return fmt.Errorf("sim: trace recording cannot combine with checkpoint/resume (the recorder's completion hooks cannot be snapshotted)")
 	}
 	return nil
 }
@@ -190,6 +221,38 @@ type memPort struct {
 	pendingRd map[int64]*memctrl.Request
 	pendingWr map[int64]*memctrl.Request
 	inflight  map[int64]*memctrl.Request // accepted reads, for Promote
+	rec       *recorder                  // non-nil while recording a trace
+}
+
+// recorder captures boundary events for the trace layer (DESIGN.md §5.11).
+// Only controller acceptances are recorded: a rejected request is retried
+// by the hierarchy until accepted, and replay re-creates only the accept.
+type recorder struct {
+	events []trace.Event
+}
+
+// accept records an accepted request — priority as merged at acceptance,
+// write data as carried by the request — and wraps its completion callback
+// so the completion cycle lands in the same event. The wrap is
+// behavior-neutral: the original callback (nil for writes) still runs.
+func (r *recorder) accept(req *memctrl.Request, kind trace.Kind, now int64) {
+	idx := len(r.events)
+	r.events = append(r.events, trace.Event{
+		Kind: kind, Clock: now, Line: req.Line, Stream: req.Stream,
+		Demand: req.Demand, Data: req.Data,
+	})
+	orig := req.OnDone
+	req.OnDone = func(done int64) {
+		r.events[idx].DoneAt = done
+		if orig != nil {
+			orig(done)
+		}
+	}
+}
+
+// promote records a demand promotion of an in-flight read.
+func (r *recorder) promote(line, now int64) {
+	r.events = append(r.events, trace.Event{Kind: trace.Promote, Clock: now, Line: line})
 }
 
 func newMemPort(sys *memctrl.System, bench *workload.Benchmark) *memPort {
@@ -220,6 +283,9 @@ func (p *memPort) ReadLine(line int64, demand bool, stream int, done func(int64)
 	}
 	delete(p.pendingRd, line)
 	p.inflight[line] = req
+	if p.rec != nil {
+		p.rec.accept(req, trace.ReadAccept, p.dramNow)
+	}
 	return true
 }
 
@@ -227,6 +293,12 @@ func (p *memPort) ReadLine(line int64, demand bool, stream int, done func(int64)
 // prefetch read to demand priority.
 func (p *memPort) Promote(line int64) {
 	if req := p.inflight[line]; req != nil {
+		// Only a promotion that flips an accepted read is an event; a
+		// pending (not yet accepted) read records its merged priority at
+		// acceptance instead.
+		if !req.Demand && p.rec != nil {
+			p.rec.promote(line, p.dramNow)
+		}
 		req.Demand = true
 	}
 	if req := p.pendingRd[line]; req != nil {
@@ -249,18 +321,21 @@ func (p *memPort) WriteLine(line int64, stream int) bool {
 		return false
 	}
 	delete(p.pendingWr, line)
+	if p.rec != nil {
+		p.rec.accept(req, trace.WriteAccept, p.dramNow)
+	}
 	return true
 }
 
-// Run executes one configuration to completion.
-func Run(cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	plat := platformFor(cfg.System)
+// buildMemSystem constructs the controller-side half of the machine —
+// scheme policy, reliability windows, phy decoration, controller
+// configuration, value overlay — exactly as a full run uses it. Run and
+// the replay driver share it so a replayed cell's backend is identical by
+// construction to the backend a full simulation of that cell would build.
+func buildMemSystem(cfg *Config, plat platform) (memctrl.Policy, *memctrl.System, *memctrl.OverlayMemory, error) {
 	policy, newPhy, err := schemeFor(cfg.Scheme, plat, cfg.LookaheadX)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 
 	// DDR4 RAS features: start from the evaluated DDR4-3200 windows and keep
@@ -325,15 +400,6 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	memOps := cfg.MemOpsPerThread
-	if memOps <= 0 {
-		memOps = DefaultMemOps
-	}
-	maxCycles := cfg.MaxCPUCycles
-	if maxCycles <= 0 {
-		maxCycles = 400_000_000
-	}
-
 	ctrlCfg := memctrl.DefaultConfig(plat.dram)
 	ctrlCfg.Trace = cfg.Trace
 	ctrlCfg.Reliability = rel
@@ -352,10 +418,38 @@ func Run(cfg Config) (*Result, error) {
 		Mem:        mem,
 	})
 	if err != nil {
+		return nil, nil, nil, err
+	}
+	return policy, memSys, mem, nil
+}
+
+// Run executes one configuration to completion.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ReplayTrace != nil {
+		return replayRun(cfg)
+	}
+	plat := platformFor(cfg.System)
+	policy, memSys, mem, err := buildMemSystem(&cfg, plat)
+	if err != nil {
 		return nil, err
 	}
 
+	memOps := cfg.MemOpsPerThread
+	if memOps <= 0 {
+		memOps = DefaultMemOps
+	}
+	maxCycles := cfg.MaxCPUCycles
+	if maxCycles <= 0 {
+		maxCycles = 400_000_000
+	}
+
 	port := newMemPort(memSys, cfg.Benchmark)
+	if cfg.RecordTrace != nil {
+		port.rec = &recorder{}
+	}
 	hier, err := cache.NewHierarchy(plat.cache, port)
 	if err != nil {
 		return nil, err
@@ -556,6 +650,24 @@ func Run(cfg Config) (*Result, error) {
 		o.Counter("loop_cycles_skipped_total").Add(ev.Skipped)
 		energy.RecordMetrics(o, breakdown, cpuJ, retryJ)
 	}
+	cacheStats := hier.Stats()
+	if cfg.RecordTrace != nil {
+		wbBackpressure, fillRetries, wbQueuePeak := hier.BoundaryStats()
+		cfg.RecordTrace(&trace.Trace{
+			CPUCycles:      cpuNow + 1,
+			DRAMCycles:     dramCycles,
+			Instructions:   proc.Retired,
+			Cache:          cacheStats,
+			EventsFired:    loop.EventsFired,
+			CyclesSkipped:  loop.CyclesSkipped,
+			Steplock:       loop.Steplock,
+			ThreadBlocks:   proc.ThreadBlocks(),
+			WBBackpressure: wbBackpressure,
+			FillRetries:    fillRetries,
+			WBQueuePeak:    wbQueuePeak,
+			Events:         port.rec.events,
+		})
+	}
 	return &Result{
 		System:       cfg.System,
 		Scheme:       cfg.Scheme,
@@ -565,7 +677,7 @@ func Run(cfg Config) (*Result, error) {
 		Seconds:      seconds,
 		Instructions: proc.Retired,
 		Mem:          stats,
-		Cache:        hier.Stats(),
+		Cache:        cacheStats,
 		Loop:         loop,
 		DRAM:         breakdown,
 		CPUJ:         cpuJ,

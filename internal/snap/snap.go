@@ -237,37 +237,54 @@ func (r *Reader) I64s() []int64 {
 // headerLen is magic + version + config hash + payload length.
 const headerLen = 8 + 4 + 8 + 8
 
+// Container frames payloads for one file format: an 8-byte magic, a format
+// version, a 64-bit configuration hash, the payload length, and a CRC-32
+// (IEEE) trailer over everything before it. The snapshot layer is one
+// instance; other deterministic artifacts (the memory-trace format in
+// internal/trace) reuse the identical framing under their own magic and
+// version so every format shares the same corruption, truncation,
+// version-skew, and config-mismatch rejection behavior.
+type Container struct {
+	Magic   [8]byte
+	Version uint32
+	// Name appears in error messages ("not a snapshot file").
+	Name string
+}
+
+// snapContainer frames checkpoint snapshots (the original format).
+var snapContainer = Container{Magic: magic, Version: Version, Name: "snapshot"}
+
 // Encode frames a payload: header (magic, format version, config hash,
-// payload length), payload, CRC-32 (IEEE) trailer over everything before it.
-func Encode(cfgHash uint64, payload []byte) []byte {
+// payload length), payload, CRC-32 trailer.
+func (c Container) Encode(cfgHash uint64, payload []byte) []byte {
 	out := make([]byte, 0, headerLen+len(payload)+4)
-	out = append(out, magic[:]...)
-	out = binary.LittleEndian.AppendUint32(out, Version)
+	out = append(out, c.Magic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, c.Version)
 	out = binary.LittleEndian.AppendUint64(out, cfgHash)
 	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
 	out = append(out, payload...)
 	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
 }
 
-// Decode validates a framed snapshot — magic, format version, configuration
+// Decode validates a framed file — magic, format version, configuration
 // hash, length, CRC — and returns a Reader over its payload. Any mismatch
-// is an error before a single byte of component state is decoded.
-func Decode(data []byte, wantHash uint64) (*Reader, error) {
+// is an error before a single byte of content is decoded.
+func (c Container) Decode(data []byte, wantHash uint64) (*Reader, error) {
 	if len(data) < headerLen+4 {
-		return nil, fmt.Errorf("snap: file too short (%d bytes) to be a snapshot", len(data))
+		return nil, fmt.Errorf("snap: file too short (%d bytes) to be a %s", len(data), c.Name)
 	}
 	body, trailer := data[:len(data)-4], data[len(data)-4:]
 	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
-		return nil, fmt.Errorf("snap: CRC mismatch (file %08x, computed %08x): snapshot is corrupt or truncated", want, got)
+		return nil, fmt.Errorf("snap: CRC mismatch (file %08x, computed %08x): %s is corrupt or truncated", want, got, c.Name)
 	}
-	if [8]byte(body[:8]) != magic {
-		return nil, fmt.Errorf("snap: bad magic %q: not a snapshot file", body[:8])
+	if [8]byte(body[:8]) != c.Magic {
+		return nil, fmt.Errorf("snap: bad magic %q: not a %s file", body[:8], c.Name)
 	}
-	if v := binary.LittleEndian.Uint32(body[8:12]); v != Version {
-		return nil, fmt.Errorf("snap: format version %d, this build reads %d", v, Version)
+	if v := binary.LittleEndian.Uint32(body[8:12]); v != c.Version {
+		return nil, fmt.Errorf("snap: %s format version %d, this build reads %d", c.Name, v, c.Version)
 	}
 	if h := binary.LittleEndian.Uint64(body[12:20]); h != wantHash {
-		return nil, fmt.Errorf("snap: config hash %016x does not match this run's %016x: resume must use the exact configuration that wrote the checkpoint", h, wantHash)
+		return nil, fmt.Errorf("snap: config hash %016x does not match this run's %016x: the %s must be used under the exact configuration that wrote it", h, wantHash, c.Name)
 	}
 	n := binary.LittleEndian.Uint64(body[20:28])
 	payload := body[headerLen:]
@@ -277,16 +294,16 @@ func Decode(data []byte, wantHash uint64) (*Reader, error) {
 	return NewReader(payload), nil
 }
 
-// WriteFile atomically writes a framed snapshot: the bytes go to a
-// temporary file in the destination directory which is then renamed over
-// path, so a crash mid-write can never leave a half-written snapshot where
-// a resume would find it.
-func WriteFile(path string, cfgHash uint64, payload []byte) error {
+// WriteFile atomically writes a framed file: the bytes go to a temporary
+// file in the destination directory which is then renamed over path, so a
+// crash mid-write can never leave a half-written artifact where a reader
+// would find it.
+func (c Container) WriteFile(path string, cfgHash uint64, payload []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(Encode(cfgHash, payload)); err != nil {
+	if _, err := tmp.Write(c.Encode(cfgHash, payload)); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
@@ -302,15 +319,35 @@ func WriteFile(path string, cfgHash uint64, payload []byte) error {
 	return nil
 }
 
-// ReadFile reads and validates a snapshot file.
-func ReadFile(path string, wantHash uint64) (*Reader, error) {
+// ReadFile reads and validates a framed file.
+func (c Container) ReadFile(path string, wantHash uint64) (*Reader, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	r, err := Decode(data, wantHash)
+	r, err := c.Decode(data, wantHash)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return r, nil
+}
+
+// Encode frames a snapshot payload (see Container.Encode).
+func Encode(cfgHash uint64, payload []byte) []byte {
+	return snapContainer.Encode(cfgHash, payload)
+}
+
+// Decode validates a framed snapshot (see Container.Decode).
+func Decode(data []byte, wantHash uint64) (*Reader, error) {
+	return snapContainer.Decode(data, wantHash)
+}
+
+// WriteFile atomically writes a framed snapshot (see Container.WriteFile).
+func WriteFile(path string, cfgHash uint64, payload []byte) error {
+	return snapContainer.WriteFile(path, cfgHash, payload)
+}
+
+// ReadFile reads and validates a snapshot file.
+func ReadFile(path string, wantHash uint64) (*Reader, error) {
+	return snapContainer.ReadFile(path, wantHash)
 }

@@ -1,0 +1,75 @@
+package trace
+
+import "sync"
+
+// Store is an in-memory singleflight trace cache, keyed by the front-end
+// key (sim.Config.FrontEndKey). The sweep engine uses it as a second-level
+// cache under the per-configuration result cache: the first cell of a
+// trace-group records the front-end once, sibling cells replay it.
+//
+// Acquire's contract mirrors singleflight: exactly one caller per key
+// becomes the leader and MUST settle the entry by calling publish (with
+// the recorded trace) or abort (recording failed or was skipped) exactly
+// once; everyone else blocks until the leader settles. An aborted entry is
+// removed, so a later Acquire for the key elects a fresh leader — callers
+// blocked across an abort get a nil trace and fall back to plain
+// simulation.
+//
+// A Store is safe for concurrent use and never blocks a leader: waiters
+// hold no Store lock while they wait.
+type Store struct {
+	mu      sync.Mutex
+	entries map[string]*storeEntry
+}
+
+type storeEntry struct {
+	done chan struct{}
+	tr   *Trace // nil until published; stays nil on abort
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{entries: make(map[string]*storeEntry)}
+}
+
+// Acquire looks up the trace for key.
+//
+//	tr != nil                 → a recorded trace is ready; replay it.
+//	tr == nil, leader == true → the caller leads: record the front-end,
+//	                            then call publish(trace) or abort().
+//	tr == nil, leader == false→ the previous leader aborted while the
+//	                            caller waited; run a plain simulation.
+func (s *Store) Acquire(key string) (tr *Trace, leader bool, publish func(*Trace), abort func()) {
+	s.mu.Lock()
+	e := s.entries[key]
+	if e == nil {
+		e = &storeEntry{done: make(chan struct{})}
+		s.entries[key] = e
+		s.mu.Unlock()
+		publish = func(t *Trace) {
+			e.tr = t
+			close(e.done)
+		}
+		abort = func() {
+			s.mu.Lock()
+			// Only clear our own entry: a later leader may have replaced it
+			// already if publish/abort discipline was violated upstream.
+			if s.entries[key] == e {
+				delete(s.entries, key)
+			}
+			s.mu.Unlock()
+			close(e.done)
+		}
+		return nil, true, publish, abort
+	}
+	s.mu.Unlock()
+	<-e.done
+	return e.tr, false, nil, nil
+}
+
+// Len reports the number of settled or in-flight entries (tests only).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
