@@ -33,8 +33,9 @@ kernelcheck:
 
 # Coverage gate: one instrumented run of the full suite, the repo-wide
 # statement coverage (CI publishes it in the job summary), and a hard
-# >= 90% floor on internal/trace — the record/replay container must stay
-# measurably tested, since a quiet decode bug there corrupts every replay.
+# >= 90% floor on internal/trace — the record/replay container and the
+# cluster/LRU store must stay measurably tested, since a quiet decode or
+# eviction bug there corrupts or silently discards every replay.
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	@awk 'NR>1 { total+=$$2; if ($$3>0) hit+=$$2; \
@@ -52,10 +53,13 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzKernelEquivalence -fuzztime=30s ./internal/code/
 	$(GO) test -run=NONE -fuzz=FuzzTraceRoundTrip -fuzztime=30s ./internal/trace/
 
-# Machine-readable sweep + codec timings (BENCH_sweep.json), then the go
+# Machine-readable sweep + codec timings (BENCH_sweep.json), the replay
+# fast-path benchmark with allocation counts (BenchmarkReplay must stay
+# decisively under BenchmarkFreshSim — DESIGN.md §5.12), then the go
 # test benchmarks for spot numbers.
 bench:
 	$(GO) run ./cmd/milbench -j 8 -out BENCH_sweep.json
+	$(GO) test -run=NONE -bench 'BenchmarkReplay|BenchmarkFreshSim' -benchmem -benchtime=1x ./internal/sim/
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Before/after comparison of the codec micro-benchmarks. Usage: run

@@ -5,16 +5,21 @@
 //
 // Two layers are timed:
 //
-//   - the full figure sweep on a reduced workload suite, once serially
-//     (-j 1) and once on the worker pool (-j N); the ratio is the engine's
-//     parallel speedup on this host. Both legs share one trace store
-//     (DESIGN.md §5.11), so the serial leg records each front-end timing
-//     class's memory trace and every later cell — the rest of the serial
-//     leg and the whole parallel leg — replays it, simulating only the
-//     memory backend. The simulations field keeps its historical meaning
-//     (full front-end simulations in the parallel, measured leg), while
-//     recorded_traces, trace_hits, and replay_seconds report the recording
-//     work and the reuse it bought.
+//   - the full figure sweep on a reduced workload suite, three legs
+//     sharing one trace store (DESIGN.md §5.11–5.12): first serially
+//     (-j 1) from cold, which pays for every recording; then on the
+//     worker pool (-j N) warm, whose ratio against the serial leg is the
+//     engine's parallel speedup on this host; then warm at -j 1 again,
+//     where every cell replays — that leg's wall-clock against the fresh
+//     serial leg is replay_speedup, the honest per-leg answer to "does
+//     replaying beat simulating?" (a sum of per-cell times under -j N
+//     timesharing would overstate replay cost on a loaded host). The
+//     simulations field keeps its historical meaning (full front-end
+//     simulations in the parallel, measured leg); recorded_traces counts
+//     distinct resident streams — with the cluster index, timing classes
+//     that adopt a sibling's stream share one — and cluster_hits/
+//     cluster_trials report the adoptions and the divergence-fence trials
+//     they cost.
 //   - every codec's Encode and Decode on random (worst-case) cache lines,
 //     since the codecs dominate per-simulation cost.
 //
@@ -59,15 +64,19 @@ type report struct {
 }
 
 type trajectoryEntry struct {
-	Generated       string       `json:"generated"`
-	SerialSeconds   float64      `json:"serial_seconds"`
-	ParallelSeconds float64      `json:"parallel_seconds"`
-	Simulations     int64        `json:"simulations,omitempty"`
-	RecordedTraces  int64        `json:"recorded_traces,omitempty"`
-	TraceHits       int64        `json:"trace_hits,omitempty"`
-	EventsFired     int64        `json:"events_fired,omitempty"`
-	CyclesSkipped   int64        `json:"cycles_skipped,omitempty"`
-	Codecs          []codecTimes `json:"codecs,omitempty"`
+	Generated        string       `json:"generated"`
+	SerialSeconds    float64      `json:"serial_seconds"`
+	ParallelSeconds  float64      `json:"parallel_seconds"`
+	ReplayLegSeconds float64      `json:"replay_leg_seconds,omitempty"`
+	ReplaySpeedup    float64      `json:"replay_speedup,omitempty"`
+	Simulations      int64        `json:"simulations,omitempty"`
+	RecordedTraces   int64        `json:"recorded_traces,omitempty"`
+	TraceHits        int64        `json:"trace_hits,omitempty"`
+	ClusterHits      int64        `json:"cluster_hits,omitempty"`
+	ClusterTrials    int64        `json:"cluster_trials,omitempty"`
+	EventsFired      int64        `json:"events_fired,omitempty"`
+	CyclesSkipped    int64        `json:"cycles_skipped,omitempty"`
+	Codecs           []codecTimes `json:"codecs,omitempty"`
 }
 
 type sweepReport struct {
@@ -80,17 +89,32 @@ type sweepReport struct {
 	// so the trajectory stays comparable across revisions. With the shared
 	// trace store warm from the serial leg it is the number of cells the
 	// replay engine could NOT serve. RecordedTraces is the recording work
-	// the serial leg paid for that: the number of distinct front-end
-	// timing classes it simulated in full and published. TraceHits counts
-	// the cells satisfied by replay across both legs (ReplaySeconds is
-	// their summed wall-clock).
+	// the serial leg paid for that: the number of distinct streams
+	// resident after all legs — with the cluster index, front-end timing
+	// classes whose boundary streams prove identical under the divergence
+	// fence adopt one recording instead of each publishing their own.
+	// ClusterHits counts those adoptions and ClusterTrials the candidate
+	// replays the fence arbitrated (summed over all legs; only recording
+	// leaders trial). TraceHits counts the cells satisfied by replay
+	// across all legs (ReplaySeconds is their summed per-cell wall-clock —
+	// inflated by timesharing when workers contend for cores, which is why
+	// the replay leg is timed separately).
 	Simulations     int64   `json:"simulations"`
 	RecordedTraces  int64   `json:"recorded_traces"`
 	TraceHits       int64   `json:"trace_hits"`
+	ClusterHits     int64   `json:"cluster_hits"`
+	ClusterTrials   int64   `json:"cluster_trials"`
+	ClusterMisses   int64   `json:"cluster_misses"`
 	ReplaySeconds   float64 `json:"replay_seconds"`
 	SerialSeconds   float64 `json:"serial_seconds"`
 	ParallelSeconds float64 `json:"parallel_seconds"`
 	Speedup         float64 `json:"speedup"`
+	// ReplayLegSeconds is the wall-clock of a third, warm, -j 1 sweep leg
+	// in which every cell replays; ReplaySpeedup = SerialSeconds /
+	// ReplayLegSeconds is the honest fresh-vs-replay ratio (≥ 1.0 means
+	// replaying a sweep beats re-simulating it serially).
+	ReplayLegSeconds float64 `json:"replay_leg_seconds"`
+	ReplaySpeedup    float64 `json:"replay_speedup"`
 	// Event-core counters summed over the serial leg's fresh simulations:
 	// CPU cycles the main loop actually fired versus cycles proven no-ops
 	// and skipped. skipped/(fired+skipped) is the work the event core
@@ -163,30 +187,50 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Third leg: warm, serial, every cell a replay. Its wall-clock against
+	// the fresh serial leg is the one number that answers "does replaying
+	// beat simulating?" without timesharing distortion.
+	replayLeg, rr, err := timeSweep(*ops, names, 1, store)
+	if err != nil {
+		fatal(err)
+	}
 	serialSims, _ := rs.Stats()
 	parallelSims, _ := rp.Stats()
 	serialHits, serialReplay := rs.TraceStats()
 	parallelHits, parallelReplay := rp.TraceStats()
+	replayLegHits, replayLegReplay := rr.TraceStats()
 	fired, skipped := rs.LoopTotals()
+	var clHits, clTrials, clMisses int64
+	for _, r := range []*experiments.Runner{rs, rp, rr} {
+		h, tr, m := r.ClusterStats()
+		clHits, clTrials, clMisses = clHits+h, clTrials+tr, clMisses+m
+	}
 	rep.Sweep = sweepReport{
-		MemOps:          *ops,
-		Suite:           names,
-		Tables:          len(experiments.Generators()),
-		Simulations:     parallelSims,
-		RecordedTraces:  int64(store.Len()),
-		TraceHits:       serialHits + parallelHits,
-		ReplaySeconds:   (serialReplay + parallelReplay).Seconds(),
-		Workers:         *workers,
-		SerialSeconds:   serial.Seconds(),
-		ParallelSeconds: parallel.Seconds(),
-		Speedup:         serial.Seconds() / parallel.Seconds(),
-		EventsFired:     fired,
-		CyclesSkipped:   skipped,
+		MemOps:           *ops,
+		Suite:            names,
+		Tables:           len(experiments.Generators()),
+		Simulations:      parallelSims,
+		RecordedTraces:   int64(store.Streams()),
+		TraceHits:        serialHits + parallelHits + replayLegHits,
+		ClusterHits:      clHits,
+		ClusterTrials:    clTrials,
+		ClusterMisses:    clMisses,
+		ReplaySeconds:    (serialReplay + parallelReplay + replayLegReplay).Seconds(),
+		Workers:          *workers,
+		SerialSeconds:    serial.Seconds(),
+		ParallelSeconds:  parallel.Seconds(),
+		Speedup:          serial.Seconds() / parallel.Seconds(),
+		ReplayLegSeconds: replayLeg.Seconds(),
+		ReplaySpeedup:    serial.Seconds() / replayLeg.Seconds(),
+		EventsFired:      fired,
+		CyclesSkipped:    skipped,
 	}
 	fmt.Fprintf(os.Stderr, "milbench: sweep serial %.2fs (%d recorded, %d replayed), -j %d %.2fs (%d fresh, %d replayed; %.2fx)\n",
 		serial.Seconds(), serialSims, serialHits, *workers, parallel.Seconds(), parallelSims, parallelHits, rep.Sweep.Speedup)
-	fmt.Fprintf(os.Stderr, "milbench: trace cache replayed %d cells in %.2fs across both legs\n",
-		rep.Sweep.TraceHits, rep.Sweep.ReplaySeconds)
+	fmt.Fprintf(os.Stderr, "milbench: replay leg %.2fs warm at -j 1 (%d replays; %.2fx vs fresh serial)\n",
+		replayLeg.Seconds(), replayLegHits, rep.Sweep.ReplaySpeedup)
+	fmt.Fprintf(os.Stderr, "milbench: %d resident streams; cluster adopted %d classes in %d trials (%d recorded fresh)\n",
+		rep.Sweep.RecordedTraces, clHits, clTrials, clMisses)
 	// Guard the empty-timeline case (fired+skipped == 0 would print NaN),
 	// and call fired what it is: landed events, not cycles.
 	skippedPct := 0.0
@@ -323,15 +367,19 @@ func loadTrajectory(path string) []trajectoryEntry {
 		traj = append(traj, *old.Previous)
 	}
 	return append(traj, trajectoryEntry{
-		Generated:       old.Generated,
-		SerialSeconds:   old.Sweep.SerialSeconds,
-		ParallelSeconds: old.Sweep.ParallelSeconds,
-		Simulations:     old.Sweep.Simulations,
-		RecordedTraces:  old.Sweep.RecordedTraces,
-		TraceHits:       old.Sweep.TraceHits,
-		EventsFired:     old.Sweep.EventsFired,
-		CyclesSkipped:   old.Sweep.CyclesSkipped,
-		Codecs:          old.Codecs,
+		Generated:        old.Generated,
+		SerialSeconds:    old.Sweep.SerialSeconds,
+		ParallelSeconds:  old.Sweep.ParallelSeconds,
+		ReplayLegSeconds: old.Sweep.ReplayLegSeconds,
+		ReplaySpeedup:    old.Sweep.ReplaySpeedup,
+		Simulations:      old.Sweep.Simulations,
+		RecordedTraces:   old.Sweep.RecordedTraces,
+		TraceHits:        old.Sweep.TraceHits,
+		ClusterHits:      old.Sweep.ClusterHits,
+		ClusterTrials:    old.Sweep.ClusterTrials,
+		EventsFired:      old.Sweep.EventsFired,
+		CyclesSkipped:    old.Sweep.CyclesSkipped,
+		Codecs:           old.Codecs,
 	})
 }
 

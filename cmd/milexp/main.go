@@ -19,11 +19,16 @@
 // -trace-cache turns on the record/replay second-level cache (DESIGN.md
 // §5.11): the first cell of each front-end timing class records its memory
 // trace during a full simulation, and every sibling cell replays it,
-// simulating only the memory backend. Tables are byte-identical with the
-// flag on or off — the replay driver verifies every recorded cycle and
-// falls back to a full simulation on divergence. Incompatible with -stats
-// (replayed cells skip the front end, making the snapshot
-// scheduling-dependent).
+// simulating only the memory backend. On an exact miss the cluster index
+// (§5.12) additionally trials traces recorded by sibling timing classes
+// over the same front-end inputs, adopting any that replay clean under the
+// divergence fence. Tables are byte-identical with the flag on or off —
+// the replay driver verifies every recorded cycle and falls back to a
+// full simulation on divergence. Incompatible with -stats (replayed cells
+// skip the front end, making the snapshot scheduling-dependent).
+// -trace-cache-limit bounds the store's resident bytes with LRU eviction
+// of whole streams, so a long-lived sweep cannot grow the cache without
+// bound (0 = unlimited; an evicted class re-records on next use).
 //
 // Long sweeps are crash-safe with -resume file: every completed cell is
 // appended to the JSONL journal as it settles, and rerunning the same
@@ -64,6 +69,7 @@ func main() {
 		resume   = flag.String("resume", "", "journal completed cells to this file and skip them when rerun (crash-safe sweeps)")
 		timeout  = flag.Duration("cell-timeout", 0, "wall-clock budget per simulation, retried with backoff (0 = unbounded)")
 		traceOn  = flag.Bool("trace-cache", false, "replay recorded memory traces across cells sharing a front-end timing class (tables are byte-identical either way)")
+		traceCap = flag.Int64("trace-cache-limit", 0, "cap the trace cache's resident bytes, evicting least-recently-used streams (0 = unlimited; implies nothing without -trace-cache)")
 	)
 	flag.Parse()
 
@@ -83,8 +89,13 @@ func main() {
 	if *stats != "" {
 		r.Metrics = obs.NewRegistry()
 	}
+	if *traceCap < 0 {
+		fmt.Fprintf(os.Stderr, "milexp: -trace-cache-limit %d: the byte cap cannot be negative\n", *traceCap)
+		os.Exit(2)
+	}
 	if *traceOn {
 		r.Traces = trace.NewStore()
+		r.Traces.SetLimit(*traceCap)
 	}
 	if *progress && !*quiet {
 		r.Progress = os.Stderr
@@ -138,6 +149,10 @@ func main() {
 		if hits, replayTime := r.TraceStats(); hits > 0 {
 			fmt.Fprintf(os.Stderr, "milexp: %d cells replayed from recorded traces (%.1fs)\n",
 				hits, replayTime.Seconds())
+		}
+		if ch, ct, cm := r.ClusterStats(); ct > 0 {
+			fmt.Fprintf(os.Stderr, "milexp: cluster store adopted %d classes in %d trials (%d recorded fresh)\n",
+				ch, ct, cm)
 		}
 	}
 

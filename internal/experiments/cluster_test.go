@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"testing"
+
+	"mil/internal/sim"
+	"mil/internal/trace"
+)
+
+// clusterSweep drives one hand-built sweep — the MiL look-ahead sweep on a
+// streaming benchmark, whose cells live in distinct timing classes but
+// (empirically, per the timingClass commentary) produce identical boundary
+// streams — through a fresh Runner with a cluster-capable store attached.
+func clusterSweep(t *testing.T, workers int, bench string, xs []int) *Runner {
+	t.Helper()
+	r := NewRunner(determinismOps())
+	r.Workers = workers
+	r.BaseSeed = 7
+	r.Traces = trace.NewStore()
+	specs := make([]Spec, 0, len(xs))
+	for _, x := range xs {
+		specs = append(specs, Spec{System: sim.Server, Scheme: "mil", Bench: bench, X: x})
+	}
+	r.Prefetch(specs...)
+	r.Wait()
+	for _, s := range specs {
+		if _, err := r.cell(s); err != nil {
+			t.Fatalf("%s: %v", s.label(), err)
+		}
+	}
+	return r
+}
+
+// TestClusterAccounting pins the cluster index's bookkeeping exactly. The
+// STRMATCH look-ahead sweep x ∈ {2, 6, 10} is three distinct FrontEndKeys
+// (three timing classes) sharing one ClusterKey; on a streaming benchmark
+// the bus slack hides the look-ahead distance, so the first cell records
+// and both siblings must adopt its stream:
+//
+//	cluster hits = 2, misses = 1, trials = 2 (each hit's first trial
+//	succeeds), one resident stream, and cell accounting 1 fresh + 2
+//	replayed.
+//
+// The same counts must hold at -j 1 and -j 8 (adoption is serialized per
+// cluster precisely so the split cannot depend on scheduling).
+func TestClusterAccounting(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		r := clusterSweep(t, workers, "STRMATCH", []int{2, 6, 10})
+		hits, trials, misses := r.ClusterStats()
+		if hits != 2 || trials != 2 || misses != 1 {
+			t.Fatalf("-j %d: cluster hits/trials/misses = %d/%d/%d, want 2/2/1",
+				workers, hits, trials, misses)
+		}
+		if n := r.Traces.Streams(); n != 1 {
+			t.Fatalf("-j %d: %d resident streams, want 1 (both siblings adopt the first recording)",
+				workers, n)
+		}
+		fresh, _ := r.Stats()
+		replayed, _ := r.TraceStats()
+		if fresh != 1 || replayed != 2 {
+			t.Fatalf("-j %d: %d fresh + %d replayed, want 1 + 2", workers, fresh, replayed)
+		}
+	}
+}
+
+// TestClusterDivergentCellsRecord is the other side of the fence: on GUPS
+// the look-ahead distance shifts read completions (the PR-7 finding), so
+// the same sweep must refuse to merge — every trial is rejected by the
+// divergence fence and every cell records its own stream. This is the test
+// that a too-coarse cluster key costs trials, never wrong numbers.
+func TestClusterDivergentCellsRecord(t *testing.T) {
+	r := clusterSweep(t, 1, "GUPS", []int{2, 6, 10})
+	hits, trials, misses := r.ClusterStats()
+	if hits != 0 || misses != 3 {
+		t.Fatalf("cluster hits/misses = %d/%d, want 0/3 (GUPS look-aheads diverge)", hits, misses)
+	}
+	// Arrival order is deterministic at -j 1: the second cell trials one
+	// candidate, the third trials two.
+	if trials != 3 {
+		t.Fatalf("cluster trials = %d, want 3", trials)
+	}
+	if n := r.Traces.Streams(); n != 3 {
+		t.Fatalf("%d resident streams, want 3", n)
+	}
+}
+
+// TestFaultCellsNeverCluster is the ROADMAP item-2 caveat as a regression
+// test: with link-error injection enabled, silent corruption makes the
+// *data* — not just the timing — depend on the scheme, and the divergence
+// fence verifies timing only. A fault cell whose sibling's trace replays
+// clean would silently carry the wrong payloads, so fault cells must never
+// consult or feed the cluster index: ClusterKey is empty, no trials run,
+// and every knob setting records its own stream.
+func TestFaultCellsNeverCluster(t *testing.T) {
+	cfg, err := NewRunner(determinismOps()).configFor(Spec{
+		System: sim.Server, Scheme: "mil", Bench: "GUPS", BER: 1e-4, RAS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key := cfg.ClusterKey(); key != "" {
+		t.Fatalf("fault-injection config has ClusterKey %q, want \"\"", key)
+	}
+
+	r := NewRunner(determinismOps())
+	r.Workers = 1
+	r.BaseSeed = 7
+	r.Traces = trace.NewStore()
+	// Two schemes differing only in the coding knob, both under the same
+	// BER: were they clustered, the second could adopt the first's trace
+	// with corrupted payloads drawn for the wrong codec.
+	for _, scheme := range []string{"mil", "milc"} {
+		if _, err := r.cell(Spec{System: sim.Server, Scheme: scheme, Bench: "GUPS", BER: 1e-4, RAS: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, trials, misses := r.ClusterStats()
+	if hits != 0 || trials != 0 || misses != 0 {
+		t.Fatalf("fault cells touched the cluster index: hits/trials/misses = %d/%d/%d, want 0/0/0",
+			hits, trials, misses)
+	}
+	if n := r.Traces.Streams(); n != 2 {
+		t.Fatalf("%d resident streams for 2 fault cells, want 2 (one each, never shared)", n)
+	}
+}

@@ -175,6 +175,10 @@ type Runner struct {
 	traceHits   atomic.Int64
 	replayNanos atomic.Int64
 
+	clusterHits   atomic.Int64
+	clusterTrials atomic.Int64
+	clusterMisses atomic.Int64
+
 	eventsFired   atomic.Int64
 	cyclesSkipped atomic.Int64
 }
@@ -207,6 +211,19 @@ func (r *Runner) Stats() (runs int64, simTime time.Duration) {
 // front end, so counting them as simulations would overstate the sweep.
 func (r *Runner) TraceStats() (hits int64, replayTime time.Duration) {
 	return r.traceHits.Load(), time.Duration(r.replayNanos.Load())
+}
+
+// ClusterStats reports the cluster index's work (DESIGN.md §5.12): hits
+// are exact-miss cells that adopted a sibling class's recorded stream,
+// trials are candidate replays attempted while deciding (every hit costs
+// at least one trial; failed trials are divergence-fenced rejections), and
+// misses are leaders that recorded a fresh stream after finding no
+// adoptable candidate. Exact-key replays (TraceStats hits minus cluster
+// hits) never consult the cluster. The conservation identity — cluster
+// hits + misses equals the number of recording leaders, and the store's
+// stream count equals the misses — is pinned by TestClusterAccounting.
+func (r *Runner) ClusterStats() (hits, trials, misses int64) {
+	return r.clusterHits.Load(), r.clusterTrials.Load(), r.clusterMisses.Load()
 }
 
 // LoopTotals reports the event-core counters summed over every fresh
@@ -349,11 +366,15 @@ func (r *Runner) result(cfg sim.Config, label string) (*sim.Result, error) {
 // (and Metrics is not — see the Traces field), the first cell of each
 // front-end timing class records its memory trace while simulating in full
 // and publishes it; every later cell of the class replays the trace,
-// simulating only the backend. replayed reports which path produced the
-// result, so the caller can keep fresh-simulation accounting honest. Any
-// replay failure — which the replay driver's cycle-by-cycle verification
-// turns into a divergence error rather than silently wrong numbers — falls
-// back to a full simulation.
+// simulating only the backend. An exact-miss leader additionally trials
+// the cluster index's candidate streams (same front-end inputs, sibling
+// timing class) before recording, adopting the first that replays clean —
+// so statically distinct classes with empirically identical timing share
+// one stream. replayed reports which path produced the result, so the
+// caller can keep fresh-simulation accounting honest. Any replay failure —
+// which the replay driver's cycle-by-cycle verification turns into a
+// divergence error rather than silently wrong numbers — falls back to the
+// next candidate and ultimately a full simulation.
 func (r *Runner) runCellTraced(cfg sim.Config) (res *sim.Result, err error, replayed bool) {
 	if r.Traces == nil || r.Metrics != nil {
 		res, err = r.runCell(cfg)
@@ -370,12 +391,43 @@ func (r *Runner) runCellTraced(cfg sim.Config) (res *sim.Result, err error, repl
 		res, err = r.runCell(cfg)
 		return res, err, false
 	case leader:
+		// Exact miss. Before paying for a fresh recording, trial the
+		// cluster's candidate streams — traces recorded under sibling
+		// timing classes that ran the same front-end inputs (ClusterKey).
+		// The replay divergence fence is the arbiter: a candidate whose
+		// boundary timing differs fails its trial, so a clean trial means
+		// this cell's stream already exists. The adopted candidate is
+		// published under this cell's exact key, sharing the stream.
+		// Fault-injection cells have ClusterKey "" and never reach here
+		// with candidates: corrupted payloads are knob-dependent in ways
+		// the (timing-only) fence cannot see, so they must not cluster.
+		// Same-cluster leaders serialize (LockCluster) so the adoption
+		// split is deterministic at any worker count: a later leader
+		// always trials against every earlier same-cluster recording.
+		ck := cfg.ClusterKey()
+		unlock := r.Traces.LockCluster(ck)
+		defer unlock()
+		for _, cand := range r.Traces.Candidates(ck) {
+			r.clusterTrials.Add(1)
+			rcfg := cfg
+			rcfg.ReplayTrace = cand
+			if res, err = r.runCell(rcfg); err == nil {
+				publish(cand)
+				r.Traces.Touch(cand)
+				r.clusterHits.Add(1)
+				return res, nil, true
+			}
+		}
 		var rec *trace.Trace
 		rcfg := cfg
 		rcfg.RecordTrace = func(t *trace.Trace) { rec = t }
 		res, err = r.runCell(rcfg)
 		if err == nil && rec != nil {
 			publish(rec)
+			if ck != "" {
+				r.clusterMisses.Add(1)
+				r.Traces.AddCandidate(ck, rec)
+			}
 		} else {
 			abort()
 		}

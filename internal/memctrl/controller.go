@@ -189,6 +189,25 @@ type Controller struct {
 
 	consecFail int  // consecutive link failures, channel-wide (storm guard)
 	inStorm    bool // currently past the storm threshold
+
+	// doneHook, when non-nil, observes every request completion in place
+	// of the per-request OnDone closure (which still fires if set). The
+	// replay driver uses it, with Request.Tag as the event identity, to
+	// verify completion cycles without allocating a closure per event.
+	doneHook func(req *Request, now int64)
+}
+
+// SetDoneHook installs a channel-wide completion observer. It fires for
+// every request the controller completes (reads, writes, forwarded hits,
+// and retry-exhausted abandons), after the request's own OnDone callback.
+func (c *Controller) SetDoneHook(hook func(req *Request, now int64)) { c.doneHook = hook }
+
+// fireDone completes a request through its callback and the channel hook.
+func (c *Controller) fireDone(req *Request, now int64) {
+	req.complete(now)
+	if c.doneHook != nil {
+		c.doneHook(req, now)
+	}
 }
 
 // SetID labels the controller's trace lines with its channel index.
@@ -229,6 +248,14 @@ func NewController(cfg Config, mem Memory, policy Policy, phy Phy) (*Controller,
 		pd:         make([]rankPD, cfg.DRAM.Geometry.Ranks),
 		stats:      NewStats(),
 		banksTmp:   make([]int64, cfg.DRAM.Geometry.Ranks*cfg.DRAM.Geometry.BankGroups*cfg.DRAM.Geometry.BanksPerGroup),
+		// Queues and in-flight tracking are preallocated to their
+		// steady-state bounds so the tick path (and the replay driver
+		// built on it) never grows them mid-run.
+		rq:          make([]*Request, 0, cfg.ReadQueue),
+		wq:          make([]*Request, 0, cfg.WriteQueue),
+		inflight:    make([]inflightRead, 0, cfg.ReadQueue),
+		deferred:    make([]inflightRead, 0, cfg.ReadQueue+cfg.WriteQueue),
+		activeBurst: make([]dram.BurstWindow, 0, cfg.ReadQueue),
 	}
 	for r := range c.pd {
 		c.pd[r].idleSince = -1
@@ -374,7 +401,7 @@ func (c *Controller) completeReads(now int64) bool {
 				c.stats.DemandLatencySum += now - f.req.Arrive
 				c.stats.DemandReadsCompleted++
 			}
-			f.req.complete(now)
+			c.fireDone(f.req, now)
 			completed = true
 		} else {
 			kept = append(kept, f)
@@ -385,7 +412,7 @@ func (c *Controller) completeReads(now int64) bool {
 	keptD := c.deferred[:0]
 	for _, f := range c.deferred {
 		if f.done <= now {
-			f.req.complete(now)
+			c.fireDone(f.req, now)
 			completed = true
 		} else {
 			keptD = append(keptD, f)
@@ -784,7 +811,7 @@ func (c *Controller) issueColumn(req *Request, idx int, write bool, now int64) {
 		c.mem.WriteLine(req.Line, res.Arrived)
 		c.stats.WritesCompleted++
 		c.wq = removeAt(c.wq, idx)
-		req.complete(now)
+		c.fireDone(req, now)
 	} else {
 		c.rq = removeAt(c.rq, idx)
 		c.inflight = append(c.inflight, inflightRead{req: req, done: info.Window.End})
@@ -838,7 +865,7 @@ func (c *Controller) handleFailure(req *Request, idx int, write bool, res *PhyRe
 			}
 			c.rq = removeAt(c.rq, idx)
 		}
-		req.complete(c.now)
+		c.fireDone(req, c.now)
 		return
 	}
 

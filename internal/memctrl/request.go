@@ -11,6 +11,12 @@ type Request struct {
 	Stream int            // originating hardware thread, for statistics
 	Demand bool           // false for prefetches
 	OnDone func(now int64)
+	// Tag is caller-owned scratch the controller never reads or writes.
+	// The replay driver stores the trace event index here so the
+	// controller-level completion hook (SetDoneHook) can verify completion
+	// cycles without a per-request closure. Not serialized by SnapRequest:
+	// the only Tag user (replay) cannot combine with checkpointing.
+	Tag    int
 	loc    Location
 	mapped bool // loc computed (requests are re-enqueued on backpressure)
 

@@ -52,6 +52,14 @@ func (s *System) Channels() int { return len(s.ctrls) }
 // Controller returns channel i's controller.
 func (s *System) Controller(i int) *Controller { return s.ctrls[i] }
 
+// SetDoneHook installs a completion observer on every channel (see
+// Controller.SetDoneHook).
+func (s *System) SetDoneHook(hook func(req *Request, now int64)) {
+	for _, c := range s.ctrls {
+		c.SetDoneHook(hook)
+	}
+}
+
 // Enqueue routes a request to its channel. It returns false when that
 // channel's queue is full; the caller retries later.
 func (s *System) Enqueue(req *Request, now int64) bool {

@@ -185,6 +185,41 @@ func (c *Config) FrontEndKey() string {
 		c.Seed, c.Steplock)
 }
 
+// ClusterKey renders the front-end *inputs* only: FrontEndKey minus the
+// timing class. Configurations sharing a ClusterKey ran the same workload
+// on the same machine with the same knobs — they differ only in
+// codec/policy (and look-ahead), the one axis timingClass predicts
+// *statically*. The trace cluster store uses this coarser key to discover
+// shared timings *empirically*: candidate traces recorded under any class
+// of the cluster are trialled under the replay divergence fence, which
+// rejects every mismatch — so a too-coarse key costs a failed trial, never
+// a wrong number. That makes it safe for the key to ignore the class
+// entirely, letting e.g. the x-sweep cells (distinct classes, often
+// identical timing on streaming workloads) converge onto one stream.
+//
+// Fault injection is the exception (ROADMAP item 2's caveat): silent
+// corruption makes the *data* — not just the timing — depend on which
+// codec drove the pins, and the divergence fence verifies timing only. A
+// fault-cell trace that replays clean under another knob setting could
+// still carry the wrong payloads, so fault cells must never cluster:
+// ClusterKey returns "" (no cluster) whenever injection is enabled, and
+// callers must treat "" as unclusterable.
+func (c *Config) ClusterKey() string {
+	if c.Fault.Enabled() {
+		return ""
+	}
+	benchName := ""
+	if c.Benchmark != nil {
+		benchName = c.Benchmark.Name
+	}
+	return fmt.Sprintf("mil-cluster-v1|sys=%d|bench=%s|ops=%d|max=%d|verify=%v|pd=%v"+
+		"|crc=%v|ca=%v|retry=%d/%d/%d/%d|seed=%d|steplock=%v",
+		c.System, benchName,
+		c.MemOpsPerThread, c.MaxCPUCycles, c.Verify, c.PowerDown,
+		c.WriteCRC, c.CAParity, c.Retry.MaxRetries, c.Retry.BackoffBase, c.Retry.BackoffMax, c.Retry.StormThreshold,
+		c.Seed, c.Steplock)
+}
+
 // FrontEndHash is the FNV-1a hash of FrontEndKey; trace files bind to it
 // the way snapshots bind to Config.Hash.
 func (c *Config) FrontEndHash() uint64 {

@@ -91,6 +91,137 @@ func replayRun(cfg Config) (*Result, error) {
 	}, nil
 }
 
+// Divergence kinds, recorded cheaply during the drive; the error string is
+// only formatted after the loop stops (diagnostics off the hot path).
+const (
+	divNone       = iota
+	divCompletion // request completed at a cycle other than the recorded one
+	divRejected   // enqueue rejected where the recording accepted
+	divNoRead     // promote with no matching read in flight
+)
+
+// replayDriver holds the per-drive scratch the hot loop runs out of. All
+// event-proportional state is allocated up front in a constant number of
+// slices/maps, so the drive itself is allocation-free: the steady-state
+// replay cost is the backend simulation (scheduling, codec, phy), not
+// driver bookkeeping. TestReplayDriverZeroAllocPerEvent pins this.
+type replayDriver struct {
+	memSys *memctrl.System
+	events []trace.Event
+	reqs   []memctrl.Request // one preallocated request per event, indexed by event
+	prom   []int32           // Promote events: target ReadAccept event index, or -1
+
+	// First divergence, recorded as raw facts; see err().
+	divKind  int
+	divEvent int   // index of the offending event
+	divAt    int64 // observed completion cycle (divCompletion only)
+}
+
+// newReplayDriver builds the scratch for one drive. Promote targets are
+// resolved here, in one forward pass, instead of with a live line→request
+// map updated on every completion: a Promote at clock c targets the latest
+// recorded read of its line still in flight at c (accepted at or before c,
+// completing strictly after it) — exactly what the recorded run's promote
+// saw.
+func newReplayDriver(memSys *memctrl.System, tr *trace.Trace) *replayDriver {
+	d := &replayDriver{
+		memSys:   memSys,
+		events:   tr.Events,
+		reqs:     make([]memctrl.Request, len(tr.Events)),
+		divEvent: -1,
+	}
+	nProm, nRead := 0, 0
+	for i := range d.events {
+		switch d.events[i].Kind {
+		case trace.Promote:
+			nProm++
+		case trace.ReadAccept:
+			nRead++
+		}
+	}
+	if nProm > 0 {
+		d.prom = make([]int32, len(d.events))
+		lastRead := make(map[int64]int32, nRead)
+		for i := range d.events {
+			e := &d.events[i]
+			switch e.Kind {
+			case trace.ReadAccept:
+				lastRead[e.Line] = int32(i)
+			case trace.Promote:
+				d.prom[i] = -1
+				if j, ok := lastRead[e.Line]; ok && d.events[j].DoneAt > e.Clock {
+					d.prom[i] = j
+				}
+			}
+		}
+	}
+	memSys.SetDoneHook(d.onDone)
+	return d
+}
+
+// onDone is the channel-wide completion hook: one integer compare per
+// completion against the recorded cycle, with the event identity carried in
+// Request.Tag (no per-request closure, no allocation).
+func (d *replayDriver) onDone(req *memctrl.Request, now int64) {
+	if now != d.events[req.Tag].DoneAt {
+		d.setDiv(divCompletion, req.Tag, now)
+	}
+}
+
+func (d *replayDriver) setDiv(kind, event int, at int64) {
+	if d.divKind == divNone {
+		d.divKind, d.divEvent, d.divAt = kind, event, at
+	}
+}
+
+// apply enqueues event i. The request is rebuilt in place in the
+// preallocated slot (a full struct assignment, so no controller-side state
+// from a previous use leaks through).
+func (d *replayDriver) apply(i int) {
+	e := &d.events[i]
+	switch e.Kind {
+	case trace.ReadAccept:
+		req := &d.reqs[i]
+		*req = memctrl.Request{Line: e.Line, Demand: e.Demand, Stream: e.Stream, Tag: i}
+		if !d.memSys.Enqueue(req, e.Clock) {
+			d.setDiv(divRejected, i, e.Clock)
+		}
+	case trace.WriteAccept:
+		req := &d.reqs[i]
+		*req = memctrl.Request{Line: e.Line, Write: true, Stream: e.Stream, Data: e.Data, Tag: i}
+		if !d.memSys.Enqueue(req, e.Clock) {
+			d.setDiv(divRejected, i, e.Clock)
+		}
+	case trace.Promote:
+		if t := d.prom[i]; t >= 0 {
+			d.reqs[t].Demand = true
+		} else {
+			d.setDiv(divNoRead, i, e.Clock)
+		}
+	}
+}
+
+// err formats the first divergence after the drive stops. Building the
+// message here keeps the hot path to bare compares.
+func (d *replayDriver) err() error {
+	if d.divKind == divNone {
+		return nil
+	}
+	e := &d.events[d.divEvent]
+	kind := "read"
+	if e.Kind == trace.WriteAccept {
+		kind = "write"
+	}
+	switch d.divKind {
+	case divCompletion:
+		return fmt.Errorf("%s of line %d completed at cycle %d, recorded %d", kind, e.Line, d.divAt, e.DoneAt)
+	case divRejected:
+		return fmt.Errorf("%s of line %d rejected at cycle %d (accepted when recorded)", kind, e.Line, e.Clock)
+	default:
+		return fmt.Errorf("promote of line %d at cycle %d with no read in flight", e.Line, e.Clock)
+	}
+}
+
 // driveReplay walks the memory system across the recorded timeline. The
 // cadence rules mirror the main loops:
 //
@@ -109,93 +240,64 @@ func replayRun(cfg Config) (*Result, error) {
 //     statistics do not depend on which no-op cycles are ticked vs
 //     bulk-accounted.
 //
+// Unlike the front-end loops, the driver never consults the scheduler's
+// event clock or the cache/CPU wake bounds — the trace already proves the
+// front end idle — and it skips the NextWake scan entirely whenever the
+// cursor over the recorded acceptance clocks shows the next event due on
+// the very next cycle (the common case inside a burst: the scan could
+// never name an earlier cycle, since NextWake > now always).
+//
 // The total accounted cycles equal the trace's DRAMCycles, so the
 // controller's Ticks/occupancy/Figure-5 statistics reconcile exactly with
 // a full run's.
 func driveReplay(memSys *memctrl.System, tr *trace.Trace) error {
+	d := newReplayDriver(memSys, tr)
+	events := d.events
+	n := len(events)
 	finalD := tr.DRAMCycles - 1
-	events := tr.Events
-	liveRd := make(map[int64]*memctrl.Request)
-	var divergence error
-	diverge := func(format string, args ...any) {
-		if divergence == nil {
-			divergence = fmt.Errorf(format, args...)
-		}
-	}
-	last := int64(-1)
-	tick := func(d int64) {
-		if d > last+1 {
-			memSys.SkipUntil(d - 1)
-		}
-		memSys.Tick(d)
-		last = d
-	}
-	apply := func(e *trace.Event) {
-		switch e.Kind {
-		case trace.ReadAccept:
-			req := &memctrl.Request{Line: e.Line, Demand: e.Demand, Stream: e.Stream}
-			line, want := e.Line, e.DoneAt
-			req.OnDone = func(done int64) {
-				delete(liveRd, line)
-				if done != want {
-					diverge("read of line %d completed at cycle %d, recorded %d", line, done, want)
-				}
-			}
-			if !memSys.Enqueue(req, e.Clock) {
-				diverge("read of line %d rejected at cycle %d (accepted when recorded)", e.Line, e.Clock)
-				return
-			}
-			liveRd[line] = req
-		case trace.WriteAccept:
-			req := &memctrl.Request{Line: e.Line, Write: true, Stream: e.Stream, Data: e.Data}
-			line, want := e.Line, e.DoneAt
-			req.OnDone = func(done int64) {
-				if done != want {
-					diverge("write of line %d completed at cycle %d, recorded %d", line, done, want)
-				}
-			}
-			if !memSys.Enqueue(req, e.Clock) {
-				diverge("write of line %d rejected at cycle %d (accepted when recorded)", e.Line, e.Clock)
-			}
-		case trace.Promote:
-			if req := liveRd[e.Line]; req != nil {
-				req.Demand = true
-			} else {
-				diverge("promote of line %d at cycle %d with no read in flight", e.Line, e.Clock)
-			}
-		}
-	}
 
 	i := 0
-	tick(0)
-	for ; i < len(events) && events[i].Clock == 0; i++ {
-		apply(&events[i])
+	memSys.Tick(0)
+	last := int64(0)
+	for ; i < n && events[i].Clock == 0; i++ {
+		d.apply(i)
 	}
-	for last < finalD && divergence == nil {
-		next := memSys.NextWake()
-		if i < len(events) && events[i].Clock < next {
-			next = events[i].Clock
-		}
-		if next <= last {
+	for last < finalD && d.divKind == divNone {
+		var next int64
+		if i < n && events[i].Clock == last+1 {
+			// Cursor fast path: the next recorded acceptance is due on the
+			// next cycle, so the wake scan is pointless.
 			next = last + 1
+		} else {
+			next = memSys.NextWake()
+			if i < n && events[i].Clock < next {
+				next = events[i].Clock
+			}
+			if next <= last {
+				next = last + 1
+			}
+			if next > finalD {
+				// Nothing acts between here and the horizon; bulk-account the
+				// tail so total accounted cycles equal the recorded DRAMCycles.
+				memSys.SkipUntil(finalD)
+				last = finalD
+				break
+			}
+			if next > last+1 {
+				memSys.SkipUntil(next - 1)
+			}
 		}
-		if next > finalD {
-			// Nothing acts between here and the horizon; bulk-account the
-			// tail so total accounted cycles equal the recorded DRAMCycles.
-			memSys.SkipUntil(finalD)
-			last = finalD
-			break
-		}
-		tick(next)
-		for ; i < len(events) && events[i].Clock == next; i++ {
-			apply(&events[i])
+		memSys.Tick(next)
+		last = next
+		for ; i < n && events[i].Clock == next; i++ {
+			d.apply(i)
 		}
 	}
-	if divergence != nil {
-		return divergence
+	if err := d.err(); err != nil {
+		return err
 	}
-	if i < len(events) {
-		return fmt.Errorf("%d events unapplied at the recorded %d-cycle horizon", len(events)-i, tr.DRAMCycles)
+	if i < n {
+		return fmt.Errorf("%d events unapplied at the recorded %d-cycle horizon", n-i, tr.DRAMCycles)
 	}
 	if memSys.Pending() {
 		return fmt.Errorf("requests still pending at the recorded %d-cycle horizon (the recorded run drained)", tr.DRAMCycles)

@@ -275,6 +275,56 @@ func TestFrontEndKeyClasses(t *testing.T) {
 	}
 }
 
+// TestClusterKeyDropsTimingClass pins the cluster key's shape: it merges
+// across codec/policy/look-ahead (the axis the divergence fence arbitrates
+// empirically), splits on every true front-end input, and refuses fault
+// cells entirely (ROADMAP item 2's caveat — corrupted payloads are
+// knob-dependent in ways a timing fence cannot see).
+func TestClusterKeyDropsTimingClass(t *testing.T) {
+	b, err := workload.ByName("STRMATCH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{System: Server, Benchmark: b, MemOpsPerThread: 1000, Seed: 42}
+	key := func(mut func(*Config)) string {
+		c := base
+		mut(&c)
+		return c.ClusterKey()
+	}
+	// Any two non-fault schemes/look-aheads over the same inputs cluster —
+	// including pairs FrontEndKey keeps apart.
+	same := [][2]func(*Config){
+		{func(c *Config) { c.Scheme = "baseline" }, func(c *Config) { c.Scheme = "milc" }},
+		{func(c *Config) { c.Scheme = "milc" }, func(c *Config) { c.Scheme = "cafo2" }},
+		{func(c *Config) { c.Scheme = "mil" }, func(c *Config) { c.Scheme = "mil"; c.LookaheadX = 4 }},
+		{func(c *Config) { c.Scheme = "mil" }, func(c *Config) { c.Scheme = "mil-nowropt" }},
+	}
+	for i, pair := range same {
+		if a, b := key(pair[0]), key(pair[1]); a != b {
+			t.Errorf("same-cluster pair %d got distinct keys:\n  %s\n  %s", i, a, b)
+		}
+	}
+	differ := [][2]func(*Config){
+		{func(c *Config) { c.Scheme = "mil" }, func(c *Config) { c.Scheme = "mil"; c.Seed = 7 }},
+		{func(c *Config) { c.Scheme = "mil" }, func(c *Config) { c.Scheme = "mil"; c.System = Mobile }},
+		{func(c *Config) { c.Scheme = "mil" }, func(c *Config) { c.Scheme = "mil"; c.MemOpsPerThread = 500 }},
+		{func(c *Config) { c.Scheme = "mil" }, func(c *Config) { c.Scheme = "mil"; c.PowerDown = true }},
+		{func(c *Config) { c.Scheme = "mil" }, func(c *Config) { c.Scheme = "mil"; c.Steplock = true }},
+		{func(c *Config) { c.Scheme = "mil" }, func(c *Config) { c.Scheme = "mil"; c.WriteCRC = true }},
+	}
+	for i, pair := range differ {
+		if a, b := key(pair[0]), key(pair[1]); a == b {
+			t.Errorf("distinct-cluster pair %d collided on key %s", i, a)
+		}
+	}
+	c := base
+	c.Scheme = "mil"
+	c.Fault = fault.Config{BER: 1e-5}
+	if got := c.ClusterKey(); got != "" {
+		t.Errorf("fault-injection config clusters under %q, want \"\"", got)
+	}
+}
+
 // TestReplayConfigValidation pins the mutual-exclusion rules: replay and
 // record cannot combine with each other or with checkpoint/resume.
 func TestReplayConfigValidation(t *testing.T) {

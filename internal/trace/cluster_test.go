@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// mkStream builds a distinct published-trace stand-in with nEvents events
+// (its cost scales with nEvents, which the LRU tests lean on).
+func mkStream(nEvents int) *Trace {
+	return &Trace{DRAMCycles: int64(nEvents) + 2, Events: make([]Event, nEvents)}
+}
+
+// publishUnder makes the store hold tr under an exact key.
+func publishUnder(t *testing.T, s *Store, key string, tr *Trace) {
+	t.Helper()
+	got, leader, publish, _ := s.Acquire(key)
+	if got != nil || !leader {
+		t.Fatalf("Acquire(%q) = (%v, leader=%v), want fresh leadership", key, got, leader)
+	}
+	publish(tr)
+}
+
+func TestClusterCandidatesOrderAndIsolation(t *testing.T) {
+	s := NewStore()
+	a, b := mkStream(4), mkStream(8)
+	publishUnder(t, s, "k-a", a)
+	publishUnder(t, s, "k-b", b)
+	s.AddCandidate("cluster-1", a)
+	s.AddCandidate("cluster-1", b)
+	s.AddCandidate("cluster-1", a) // idempotent: already filed
+	s.AddCandidate("", a)          // unclusterable: no-op
+
+	cands := s.Candidates("cluster-1")
+	if len(cands) != 2 || cands[0] != a || cands[1] != b {
+		t.Fatalf("Candidates = %v, want [a b] in publication order", cands)
+	}
+	if got := s.Candidates("cluster-2"); got != nil {
+		t.Fatalf("unknown cluster returned %v, want nil", got)
+	}
+	if got := s.Candidates(""); got != nil {
+		t.Fatalf("empty cluster key returned %v, want nil", got)
+	}
+	// The snapshot is a copy: mutating it must not corrupt the index.
+	cands[0] = nil
+	if again := s.Candidates("cluster-1"); again[0] != a {
+		t.Fatal("Candidates returned the live slice, not a copy")
+	}
+}
+
+// TestStreamsCountsSharedAdoptions pins the number the cluster store exists
+// to shrink: publishing one trace under many exact keys (adoption) is one
+// stream, not one per key.
+func TestStreamsCountsSharedAdoptions(t *testing.T) {
+	s := NewStore()
+	tr := mkStream(4)
+	for i := 0; i < 5; i++ {
+		publishUnder(t, s, fmt.Sprintf("class-%d", i), tr)
+	}
+	if n := s.Streams(); n != 1 {
+		t.Fatalf("Streams() = %d after adopting one trace under 5 keys, want 1", n)
+	}
+	if n := s.Len(); n != 5 {
+		t.Fatalf("Len() = %d, want 5 exact entries", n)
+	}
+}
+
+func TestStoreEvictionLRU(t *testing.T) {
+	s := NewStore()
+	cost := traceCost(mkStream(10))
+	s.SetLimit(3 * cost) // room for three 10-event streams
+
+	traces := make([]*Trace, 4)
+	for i := range traces {
+		traces[i] = mkStream(10)
+		publishUnder(t, s, fmt.Sprintf("k%d", i), traces[i])
+		s.AddCandidate("c", traces[i])
+	}
+	// Publishing the 4th exceeded the limit: the least-recently-used
+	// stream (the 1st) must be gone from both indexes.
+	if n := s.Streams(); n != 3 {
+		t.Fatalf("Streams() = %d after eviction, want 3", n)
+	}
+	if n := s.Evictions(); n != 1 {
+		t.Fatalf("Evictions() = %d, want 1", n)
+	}
+	if got, leader, _, abort := s.Acquire("k0"); got != nil || !leader {
+		t.Fatalf("evicted key k0 still resident (tr=%v leader=%v)", got, leader)
+	} else {
+		abort()
+	}
+	cands := s.Candidates("c")
+	if len(cands) != 3 || cands[0] != traces[1] {
+		t.Fatalf("cluster candidates after eviction = %d entries starting %p, want 3 starting with the 2nd stream", len(cands), cands[0])
+	}
+
+	// Touch the now-oldest stream, then push one more: eviction must skip
+	// the touched stream and drop the next-oldest instead.
+	s.Touch(traces[1])
+	extra := mkStream(10)
+	publishUnder(t, s, "k4", extra)
+	if got, _, _, abort := s.Acquire("k2"); got != nil {
+		t.Fatal("k2 survived eviction but was the least recently used")
+	} else {
+		abort()
+		_ = got
+	}
+	if got, _, _, _ := s.Acquire("k1"); got != traces[1] {
+		t.Fatal("touched stream was evicted ahead of older ones")
+	}
+}
+
+// TestStoreEvictionSparesNewest: one stream bigger than the whole limit
+// must still be admitted (and be the only resident), not thrash the cache
+// empty.
+func TestStoreEvictionSparesNewest(t *testing.T) {
+	s := NewStore()
+	s.SetLimit(1) // smaller than any stream
+	a, b := mkStream(100), mkStream(100)
+	publishUnder(t, s, "a", a)
+	publishUnder(t, s, "b", b)
+	if n := s.Streams(); n != 1 {
+		t.Fatalf("Streams() = %d under a tiny limit, want exactly the newest", n)
+	}
+	if got, _, _, _ := s.Acquire("b"); got != b {
+		t.Fatal("newest stream was evicted")
+	}
+}
+
+// TestLockClusterSerializes checks the determinism gate: two goroutines
+// contending for one cluster never overlap, and the empty key does not
+// serialize at all.
+func TestLockClusterSerializes(t *testing.T) {
+	s := NewStore()
+	var mu sync.Mutex
+	inside := 0
+	maxInside := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			unlock := s.LockCluster("c")
+			defer unlock()
+			mu.Lock()
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			mu.Unlock()
+			mu.Lock()
+			inside--
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if maxInside != 1 {
+		t.Fatalf("%d leaders inside one cluster's critical section, want 1", maxInside)
+	}
+	unlockA := s.LockCluster("")
+	unlockB := s.LockCluster("") // would deadlock if "" shared a real lock
+	unlockA()
+	unlockB()
+}

@@ -1,6 +1,10 @@
 package trace
 
-import "sync"
+import (
+	"container/list"
+	"sync"
+	"unsafe"
+)
 
 // Store is an in-memory singleflight trace cache, keyed by the front-end
 // key (sim.Config.FrontEndKey). The sweep engine uses it as a second-level
@@ -15,11 +19,36 @@ import "sync"
 // blocked across an abort get a nil trace and fall back to plain
 // simulation.
 //
+// On top of the exact index the store keeps two optional structures
+// (DESIGN.md §5.12):
+//
+//   - A cluster index keyed by sim.Config.ClusterKey — front-end *inputs*
+//     only, no timing class. AddCandidate files a published stream under
+//     its cluster; Candidates lists a cluster's streams in publication
+//     order so an exact-miss leader can trial them under the replay
+//     divergence fence before paying for a fresh recording. The store
+//     itself never judges whether a candidate fits — that is the fence's
+//     job — it only remembers what exists.
+//
+//   - A size-capped LRU over *streams* (distinct recorded traces, however
+//     many exact keys have adopted each). SetLimit bounds the resident
+//     bytes; publishing or touching past the limit evicts the
+//     least-recently-used streams, removing them from both indexes. The
+//     entry being settled is never evicted, and neither are unsettled
+//     (in-flight) entries — they hold no stream yet.
+//
 // A Store is safe for concurrent use and never blocks a leader: waiters
 // hold no Store lock while they wait.
 type Store struct {
-	mu      sync.Mutex
-	entries map[string]*storeEntry
+	mu       sync.Mutex
+	entries  map[string]*storeEntry
+	clusters map[string][]*Trace
+	locks    map[string]*sync.Mutex
+	streams  map[*Trace]*stream
+	lru      *list.List // front = most recently used; values are *stream
+	limit    int64
+	size     int64
+	evicted  int64
 }
 
 type storeEntry struct {
@@ -27,9 +56,62 @@ type storeEntry struct {
 	tr   *Trace // nil until published; stays nil on abort
 }
 
-// NewStore returns an empty store.
+// stream is the store's bookkeeping for one distinct recorded trace.
+type stream struct {
+	tr      *Trace
+	cost    int64
+	cluster string   // cluster key it is filed under; "" = not filed
+	keys    []string // exact keys whose settled entries point at this trace
+	elem    *list.Element
+}
+
+// traceCost estimates a stream's resident size: the fixed totals plus the
+// event slice. Close enough for an eviction budget; exactness is not the
+// point.
+func traceCost(tr *Trace) int64 {
+	return int64(unsafe.Sizeof(Trace{})) + int64(len(tr.Events))*int64(unsafe.Sizeof(Event{}))
+}
+
+// NewStore returns an empty store with no size limit.
 func NewStore() *Store {
-	return &Store{entries: make(map[string]*storeEntry)}
+	return &Store{
+		entries:  make(map[string]*storeEntry),
+		clusters: make(map[string][]*Trace),
+		locks:    make(map[string]*sync.Mutex),
+		streams:  make(map[*Trace]*stream),
+		lru:      list.New(),
+	}
+}
+
+// LockCluster serializes exact-miss leaders of one cluster: a leader takes
+// the lock before trialling candidates and releases it (via the returned
+// func) after publishing or aborting. Serialization is what makes the
+// adoption split deterministic at any worker count — a later leader always
+// sees every earlier same-cluster recording settled, so whether it adopts
+// or records depends only on timing equivalence, never on scheduling. The
+// empty key (unclusterable) locks nothing.
+func (s *Store) LockCluster(clusterKey string) (unlock func()) {
+	if clusterKey == "" {
+		return func() {}
+	}
+	s.mu.Lock()
+	m := s.locks[clusterKey]
+	if m == nil {
+		m = &sync.Mutex{}
+		s.locks[clusterKey] = m
+	}
+	s.mu.Unlock()
+	m.Lock()
+	return m.Unlock
+}
+
+// SetLimit caps the resident bytes of published streams; 0 (the default)
+// means unlimited. A shrunken limit takes effect on the next publish or
+// touch.
+func (s *Store) SetLimit(bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.limit = bytes
 }
 
 // Acquire looks up the trace for key.
@@ -39,6 +121,10 @@ func NewStore() *Store {
 //	                            then call publish(trace) or abort().
 //	tr == nil, leader == false→ the previous leader aborted while the
 //	                            caller waited; run a plain simulation.
+//
+// A leader that adopts a cluster candidate publishes the *candidate* under
+// its key — publishing a trace under any number of exact keys files one
+// stream, not a copy per key.
 func (s *Store) Acquire(key string) (tr *Trace, leader bool, publish func(*Trace), abort func()) {
 	s.mu.Lock()
 	e := s.entries[key]
@@ -47,7 +133,12 @@ func (s *Store) Acquire(key string) (tr *Trace, leader bool, publish func(*Trace
 		s.entries[key] = e
 		s.mu.Unlock()
 		publish = func(t *Trace) {
+			s.mu.Lock()
 			e.tr = t
+			if t != nil {
+				s.registerLocked(key, t)
+			}
+			s.mu.Unlock()
 			close(e.done)
 		}
 		abort = func() {
@@ -64,12 +155,145 @@ func (s *Store) Acquire(key string) (tr *Trace, leader bool, publish func(*Trace
 	}
 	s.mu.Unlock()
 	<-e.done
+	if e.tr != nil {
+		s.Touch(e.tr)
+	}
 	return e.tr, false, nil, nil
 }
 
-// Len reports the number of settled or in-flight entries (tests only).
+// registerLocked files a published trace under an exact key, creating its
+// stream on first publication, and enforces the size limit.
+func (s *Store) registerLocked(key string, tr *Trace) {
+	st := s.streams[tr]
+	if st == nil {
+		st = &stream{tr: tr, cost: traceCost(tr)}
+		st.elem = s.lru.PushFront(st)
+		s.streams[tr] = st
+		s.size += st.cost
+	} else {
+		s.lru.MoveToFront(st.elem)
+	}
+	st.keys = append(st.keys, key)
+	s.evictLocked()
+}
+
+// AddCandidate files a published stream under a cluster key so later
+// exact-miss leaders can trial it. Filing is idempotent; clusterKey ""
+// (unclusterable, e.g. fault-injection cells) is a no-op.
+func (s *Store) AddCandidate(clusterKey string, tr *Trace) {
+	if clusterKey == "" || tr == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.streams[tr]
+	if st == nil {
+		// Filed before any exact publication (callers that record outside
+		// Acquire); the stream still joins the LRU budget.
+		st = &stream{tr: tr, cost: traceCost(tr)}
+		st.elem = s.lru.PushFront(st)
+		s.streams[tr] = st
+		s.size += st.cost
+	}
+	if st.cluster != "" {
+		return
+	}
+	st.cluster = clusterKey
+	s.clusters[clusterKey] = append(s.clusters[clusterKey], tr)
+	s.evictLocked()
+}
+
+// Candidates returns the cluster's streams in publication order (a copy;
+// callers may trial them without holding the store lock).
+func (s *Store) Candidates(clusterKey string) []*Trace {
+	if clusterKey == "" {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cands := s.clusters[clusterKey]
+	if len(cands) == 0 {
+		return nil
+	}
+	out := make([]*Trace, len(cands))
+	copy(out, cands)
+	return out
+}
+
+// Touch marks a stream recently used (a successful replay or adoption).
+func (s *Store) Touch(tr *Trace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st := s.streams[tr]; st != nil {
+		s.lru.MoveToFront(st.elem)
+	}
+}
+
+// evictLocked drops least-recently-used streams until the resident size
+// fits the limit. The most recently used stream always survives, so a
+// single oversized stream cannot thrash the cache empty.
+func (s *Store) evictLocked() {
+	if s.limit <= 0 {
+		return
+	}
+	for s.size > s.limit && s.lru.Len() > 1 {
+		st := s.lru.Back().Value.(*stream)
+		s.removeStreamLocked(st)
+		s.evicted++
+	}
+}
+
+// removeStreamLocked unfiles a stream from every index.
+func (s *Store) removeStreamLocked(st *stream) {
+	for _, key := range st.keys {
+		if e := s.entries[key]; e != nil && e.tr == st.tr {
+			delete(s.entries, key)
+		}
+	}
+	if st.cluster != "" {
+		cands := s.clusters[st.cluster]
+		for i, tr := range cands {
+			if tr == st.tr {
+				s.clusters[st.cluster] = append(cands[:i], cands[i+1:]...)
+				break
+			}
+		}
+		if len(s.clusters[st.cluster]) == 0 {
+			delete(s.clusters, st.cluster)
+		}
+	}
+	s.lru.Remove(st.elem)
+	delete(s.streams, st.tr)
+	s.size -= st.cost
+}
+
+// Len reports the number of settled or in-flight exact entries (tests
+// only).
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.entries)
+}
+
+// Streams reports the number of distinct recorded traces resident —
+// the number the cluster store exists to shrink: exact keys that adopted
+// a sibling's stream share it rather than adding one.
+func (s *Store) Streams() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.streams)
+}
+
+// SizeBytes reports the estimated resident bytes of published streams.
+func (s *Store) SizeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Evictions reports how many streams the size cap has dropped.
+func (s *Store) Evictions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
 }
