@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify kernelcheck cover fuzz bench benchdiff profile golden experiments clean
+.PHONY: all build vet test race verify kernelcheck registrycheck cover fuzz bench benchdiff profile golden experiments clean
 
 all: verify
 
@@ -23,13 +23,22 @@ race:
 	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/workload/ ./internal/obs/ ./internal/trace/
 	$(GO) test -race ./...
 
-verify: build vet test race kernelcheck
+verify: build vet test race kernelcheck registrycheck
 
 # The kernel-layer referee, run explicitly as part of verify: the
 # differential fuzz seed corpus (word-parallel counters vs bit-at-a-time
 # references) plus the probe/scratch equivalence and zero-alloc checks.
 kernelcheck:
 	$(GO) test -run 'FuzzKernelEquivalence|TestCostZerosEquivalence|TestEncodeIntoMatchesEncode|TestSteadyStateZeroAllocs' -count=1 ./internal/code/
+
+# The registry-drift referee: the scheme registry must keep every
+# pre-registry contract byte for byte — timing classes against the frozen
+# legacy switch, codec parity with code.ByName, the front-end/cluster key
+# golden for all schemes, and the epoch-feedback zero-cost gate.
+registrycheck:
+	$(GO) test -count=1 ./internal/scheme/
+	$(GO) test -run 'TestFrontEndKeyGolden' -count=1 ./internal/sim/
+	$(GO) test -run 'TestEpochFeedback|TestEpochLength' -count=1 ./internal/memctrl/
 
 # Coverage gate: one instrumented run of the full suite, the repo-wide
 # statement coverage (CI publishes it in the job summary), and a hard
@@ -89,12 +98,14 @@ profile:
 
 # Re-bless the golden snapshots after an intentional model change: the
 # experiment tables (internal/experiments/testdata/golden/), the
-# observability artifacts (internal/sim/testdata/obs/), and the
-# checkpoint-format golden (internal/sim/testdata/snap/). Review the
-# diffs; a checkpoint-golden change also warrants a snap.Version bump.
+# observability artifacts (internal/sim/testdata/obs/), the
+# checkpoint-format golden (internal/sim/testdata/snap/), and the
+# front-end key snapshot (internal/sim/testdata/keys/). Review the
+# diffs; a checkpoint-golden change also warrants a snap.Version bump,
+# and a keys change orphans recorded trace streams.
 golden:
 	$(GO) test ./internal/experiments/ -run TestGolden -update
-	$(GO) test ./internal/sim/ -run 'TestObsGolden|TestSnapshotGolden' -update
+	$(GO) test ./internal/sim/ -run 'TestObsGolden|TestSnapshotGolden|TestFrontEndKeyGolden' -update
 
 # Regenerate EXPERIMENTS.md (all figures and tables; slow).
 experiments:

@@ -7,6 +7,9 @@
 //
 //	milcodec [-schemes dbi,milc,lwc3] [file]
 //
+// Codec names resolve through the scheme registry (internal/scheme), so
+// the stretched burst lengths bl12/bl14 are available alongside raw,
+// dbi, milc, lwc3, and cafoN; the default runs every registered codec.
 // With no file, a built-in mixed sample is used. Every block is decoded
 // and checked against the original.
 package main
@@ -20,10 +23,12 @@ import (
 
 	"mil/internal/bitblock"
 	"mil/internal/code"
+	schemereg "mil/internal/scheme"
 )
 
 func main() {
-	schemes := flag.String("schemes", "raw,dbi,milc,lwc3,cafo2,cafo4", "comma-separated codec names")
+	schemes := flag.String("schemes", strings.Join(schemereg.CodecNames(), ","),
+		"comma-separated codec names (any name from the scheme registry)")
 	flag.Parse()
 
 	data := sampleData()
@@ -39,12 +44,12 @@ func main() {
 		log.Fatal("milcodec: empty input")
 	}
 	fmt.Printf("input: %d bytes (%d blocks)\n\n", len(data), blocks)
-	fmt.Printf("%-8s %10s %10s %12s %12s %10s\n",
+	fmt.Printf("%-10s %10s %10s %12s %12s %10s\n",
 		"scheme", "beats", "bus bits", "zeros(POD)", "toggles(TS)", "vs dbi")
 
 	var dbiZeros int64
 	for _, name := range strings.Split(*schemes, ",") {
-		c, err := code.ByName(strings.TrimSpace(name))
+		c, err := schemereg.Codec(strings.TrimSpace(name))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -73,7 +78,7 @@ func main() {
 		if dbiZeros > 0 {
 			rel = fmt.Sprintf("%.3f", float64(zeros)/float64(dbiZeros))
 		}
-		fmt.Printf("%-8s %10d %10d %12d %12d %10s\n",
+		fmt.Printf("%-10s %10d %10d %12d %12d %10s\n",
 			c.Name(), c.Beats(), bits, zeros, toggles, rel)
 	}
 }

@@ -52,6 +52,7 @@ import (
 
 	"mil/internal/experiments"
 	"mil/internal/obs"
+	"mil/internal/scheme"
 	"mil/internal/sim"
 	"mil/internal/trace"
 )
@@ -70,8 +71,15 @@ func main() {
 		timeout  = flag.Duration("cell-timeout", 0, "wall-clock budget per simulation, retried with backoff (0 = unbounded)")
 		traceOn  = flag.Bool("trace-cache", false, "replay recorded memory traces across cells sharing a front-end timing class (tables are byte-identical either way)")
 		traceCap = flag.Int64("trace-cache-limit", 0, "cap the trace cache's resident bytes, evicting least-recently-used streams (0 = unlimited; implies nothing without -trace-cache)")
+
+		listSchemes = flag.Bool("list-schemes", false, "print the scheme registry table and exit")
 	)
 	flag.Parse()
+
+	if *listSchemes {
+		scheme.WriteTable(os.Stdout)
+		return
+	}
 
 	if *traceOn && *stats != "" {
 		// Which cell of a class records its trace is scheduling-dependent

@@ -6,7 +6,11 @@
 //
 //	milsim [-system server|mobile] [-scheme mil] [-bench GUPS] [-ops 6000] [-x 8] [-verify] [-j N]
 //
-// Scheme names: baseline, milc, cafo2, cafo4, mil, lwc3, bl10-bl16, raw.
+// Scheme names come from the scheme registry (internal/scheme): the
+// baselines (baseline/bi/raw), the fixed codecs (milc/cafo2/cafo4/lwc3),
+// the MiL family (mil/mil3/mil-nowropt/mil-x4/mil-degrade), the fixed
+// burst lengths bl10-bl16, and the adaptive mil-bandit. -list-schemes
+// prints the annotated table (aliases, timing class, platforms).
 // With -bench all the suite runs on a worker pool -j wide (default
 // GOMAXPROCS); reports print in suite order regardless of -j, and -progress
 // streams per-run completion lines on stderr. -steplock selects the
@@ -68,6 +72,7 @@ import (
 	"mil/internal/memctrl"
 	"mil/internal/obs"
 	"mil/internal/profiling"
+	schemereg "mil/internal/scheme"
 	"mil/internal/sim"
 	memtrace "mil/internal/trace"
 	"mil/internal/workload"
@@ -110,8 +115,15 @@ func main() {
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		listSchemes = flag.Bool("list-schemes", false, "print the scheme registry table and exit")
 	)
 	flag.Parse()
+
+	if *listSchemes {
+		schemereg.WriteTable(os.Stdout)
+		return
+	}
 
 	// Flag-combo validation, before any side effects (profiles, files,
 	// signal handlers): these invocations can never succeed, so fail them

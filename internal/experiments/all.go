@@ -40,6 +40,7 @@ func Generators() []Generator {
 		{"Extension 4", func(r *Runner) (*Table, error) { return r.Extension4() }},
 		{"Extension 5", func(r *Runner) (*Table, error) { return r.FaultSweep() }},
 		{"Extension 6", func(r *Runner) (*Table, error) { return r.Extension6() }},
+		{"Extension 7", func(r *Runner) (*Table, error) { return r.Extension7() }},
 	}
 }
 

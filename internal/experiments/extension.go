@@ -189,6 +189,77 @@ func (r *Runner) Extension2() (*Table, error) {
 	return t, nil
 }
 
+// Extension7 evaluates the mil-bandit adaptive policy (internal/milcore
+// Bandit): an epsilon-greedy racer over DBI / MiLC / hybrid / CAFO-2 fed
+// by the controller's per-epoch feedback (memctrl.EpochObserver), choosing
+// arms from measured wire cost instead of MiL's schedule prediction. The
+// arm-share columns show what it converged to per benchmark; the zeros
+// columns place it against its own best fixed arms and against mil.
+func (r *Runner) Extension7() (*Table, error) {
+	r.prefetchSuite(sim.Server, "milc", "cafo2", "mil", "mil-bandit")
+	names, err := r.suiteSorted(sim.Server)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "Extension 7",
+		Title: "Adaptive codec selection: mil-bandit vs fixed arms and MiL (DDR4)",
+		Note: "Zeros are IO cost ratios vs the DBI baseline; time is mil-bandit's " +
+			"execution-time ratio. The arm shares are the fraction of column " +
+			"bursts each codec carried under mil-bandit - the measured per-" +
+			"benchmark preference the epoch feedback converged to.",
+		Header: []string{"benchmark (by bus util)", "milc zeros", "cafo2 zeros",
+			"mil zeros", "bandit zeros", "bandit time",
+			"dbi", "milc", "hybrid", "cafo2"},
+	}
+	var gmM, gmC, gmL, gmB, gmT []float64
+	for _, n := range names {
+		base, err := r.get(sim.Server, "baseline", n, 0)
+		if err != nil {
+			return nil, err
+		}
+		milc, err := r.get(sim.Server, "milc", n, 0)
+		if err != nil {
+			return nil, err
+		}
+		cafo, err := r.get(sim.Server, "cafo2", n, 0)
+		if err != nil {
+			return nil, err
+		}
+		mil, err := r.get(sim.Server, "mil", n, 0)
+		if err != nil {
+			return nil, err
+		}
+		band, err := r.get(sim.Server, "mil-bandit", n, 0)
+		if err != nil {
+			return nil, err
+		}
+		zm := float64(milc.Mem.CostUnits) / float64(base.Mem.CostUnits)
+		zc := float64(cafo.Mem.CostUnits) / float64(base.Mem.CostUnits)
+		zl := float64(mil.Mem.CostUnits) / float64(base.Mem.CostUnits)
+		zb := float64(band.Mem.CostUnits) / float64(base.Mem.CostUnits)
+		tb := float64(band.CPUCycles) / float64(base.CPUCycles)
+		total := float64(band.Mem.ColumnCommands())
+		if total == 0 {
+			total = 1
+		}
+		row := []string{n, f3(zm), f3(zc), f3(zl), f3(zb), f3(tb)}
+		for _, arm := range []string{"dbi", "milc", "hybrid", "cafo2"} {
+			row = append(row, pct(float64(band.Mem.CodecBursts[arm])/total))
+		}
+		t.Rows = append(t.Rows, row)
+		gmM = append(gmM, zm)
+		gmC = append(gmC, zc)
+		gmL = append(gmL, zl)
+		gmB = append(gmB, zb)
+		gmT = append(gmT, tb)
+	}
+	t.Rows = append(t.Rows, []string{"GEOMEAN",
+		f3(geomean(gmM)), f3(geomean(gmC)), f3(geomean(gmL)),
+		f3(geomean(gmB)), f3(geomean(gmT)), "", "", "", ""})
+	return t, nil
+}
+
 // Extension6 pins the idle-heavy regime the event-driven core is built
 // for: the suite's least bus-bound benchmark under rank power-down, where
 // most of the timeline is empty-queue idling between refreshes and

@@ -190,6 +190,11 @@ type Controller struct {
 	consecFail int  // consecutive link failures, channel-wide (storm guard)
 	inStorm    bool // currently past the storm threshold
 
+	// epoch drives the optional per-epoch policy feedback (EpochObserver).
+	// A policy that does not observe epochs leaves epoch.obs nil and the
+	// column path pays one nil check per burst.
+	epoch epochTracker
+
 	// doneHook, when non-nil, observes every request completion in place
 	// of the per-request OnDone closure (which still fires if set). The
 	// replay driver uses it, with Request.Tag as the event identity, to
@@ -256,6 +261,13 @@ func NewController(cfg Config, mem Memory, policy Policy, phy Phy) (*Controller,
 		inflight:    make([]inflightRead, 0, cfg.ReadQueue),
 		deferred:    make([]inflightRead, 0, cfg.ReadQueue+cfg.WriteQueue),
 		activeBurst: make([]dram.BurstWindow, 0, cfg.ReadQueue),
+	}
+	if eo, ok := policy.(EpochObserver); ok {
+		n := eo.EpochLength()
+		if n <= 0 {
+			return nil, fmt.Errorf("memctrl: policy %s epoch length %d <= 0", policy.Name(), n)
+		}
+		c.epoch.obs, c.epoch.every = eo, int64(n)
 	}
 	for r := range c.pd {
 		c.pd[r].idleSince = -1
@@ -715,6 +727,53 @@ func (l lookahead) ColumnReadyWithin(x int) int {
 	return n
 }
 
+// epochTracker counts issued bursts toward the policy's next epoch
+// boundary and remembers the cumulative stat totals at the last one, so
+// each delivery is a cheap subtraction off counters the column path
+// maintains anyway.
+type epochTracker struct {
+	obs    EpochObserver
+	every  int64
+	bursts int64      // bursts issued since the last boundary
+	mark   EpochStats // cumulative totals at the last boundary
+}
+
+// epochTick advances the per-epoch feedback channel after one issued
+// burst (success or failure alike) and delivers the epoch's stat deltas
+// at each boundary. Policies without an EpochObserver cost one nil check
+// here; TestEpochFeedbackZeroCostWhenDisabled pins the path at 0
+// allocs/op in both cases.
+func (c *Controller) epochTick(now int64) {
+	if c.epoch.obs == nil {
+		return
+	}
+	c.epoch.bursts++
+	if c.epoch.bursts < c.epoch.every {
+		return
+	}
+	c.epoch.bursts = 0
+	s := c.stats
+	cur := EpochStats{
+		Bursts:    s.Reads + s.Writes,
+		Zeros:     s.Zeros,
+		CostUnits: s.CostUnits,
+		Beats:     s.BurstBeats,
+		Retries:   s.WriteRetries + s.ReadRetries + s.RetriesExhausted,
+	}
+	delta := EpochStats{
+		Bursts:    cur.Bursts - c.epoch.mark.Bursts,
+		Zeros:     cur.Zeros - c.epoch.mark.Zeros,
+		CostUnits: cur.CostUnits - c.epoch.mark.CostUnits,
+		Beats:     cur.Beats - c.epoch.mark.Beats,
+		Retries:   cur.Retries - c.epoch.mark.Retries,
+	}
+	c.epoch.mark = cur
+	if c.obs != nil {
+		c.obs.policyEpochs.Inc()
+	}
+	c.epoch.obs.ObserveEpoch(now, delta)
+}
+
 // issueColumn runs the coding decision, issues the column command, moves
 // the data, and records all statistics. idx is the request's position in
 // the active queue.
@@ -800,6 +859,7 @@ func (c *Controller) issueColumn(req *Request, idx int, write bool, now int64) {
 
 	if res.Failed() {
 		c.handleFailure(req, idx, write, &res, info.Window.End)
+		c.epochTick(now)
 		return
 	}
 	c.consecFail = 0
@@ -816,6 +876,7 @@ func (c *Controller) issueColumn(req *Request, idx int, write bool, now int64) {
 		c.rq = removeAt(c.rq, idx)
 		c.inflight = append(c.inflight, inflightRead{req: req, done: info.Window.End})
 	}
+	c.epochTick(now)
 }
 
 // handleFailure processes a NACKed transfer: it classifies the failure,

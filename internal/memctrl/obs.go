@@ -29,6 +29,11 @@ type ctrlObs struct {
 	wakeFastpath   *obs.Counter
 	wakeMemoized   *obs.Counter
 	wakeFullScan   *obs.Counter
+	// policyEpochs counts epoch-feedback deliveries. Created only for
+	// controllers whose policy observes epochs (see SetObs) so the
+	// metrics CSV of every pre-existing scheme stays byte-identical;
+	// Inc is nil-safe, so epochTick bumps it unconditionally.
+	policyEpochs *obs.Counter
 
 	cmdTrack *obs.Track // per-channel DRAM command instants
 	busTrack *obs.Track // per-channel data-bus burst/idle slices
@@ -131,6 +136,9 @@ func (c *Controller) SetObs(o *obs.Obs) {
 		return
 	}
 	c.obs = newCtrlObs(o)
+	if c.epoch.obs != nil {
+		c.obs.policyEpochs = o.Counter("policy_epochs_total")
+	}
 	c.ch.SetObs(o)
 }
 

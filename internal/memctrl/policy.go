@@ -33,6 +33,42 @@ type ReliabilityFeedback interface {
 	RecordBurst(codec string, write, failed bool)
 }
 
+// EpochStats is the observed-cost digest the controller hands an
+// EpochObserver at each epoch boundary: deltas over the just-finished
+// epoch, straight off the controller's own counters. Bursts counts
+// issued column commands (including ones that later NACKed);
+// Zeros/CostUnits/Beats are the coded-burst totals those bursts put on
+// the wire, retried bursts' sunk cost included; Retries counts failed
+// transfers (scheduled replays plus abandons).
+type EpochStats struct {
+	Bursts    int64
+	Zeros     int64
+	CostUnits int64
+	Beats     int64
+	Retries   int64
+}
+
+// EpochObserver is the second optional feedback channel from the
+// controller back to the policy: every EpochLength() issued bursts the
+// controller delivers the epoch's observed stat deltas, letting adaptive
+// policies (the milcore bandit) steer on measured cost instead of
+// predictions alone. With a multi-channel System sharing one policy
+// instance, each channel counts and delivers its own epochs; channels
+// tick in a fixed order, so delivery is deterministic. Policies that do
+// not implement the interface pay exactly one nil check per burst (the
+// zero-cost obs discipline, pinned at 0 allocs/op by
+// TestEpochFeedbackZeroCostWhenDisabled).
+type EpochObserver interface {
+	// EpochLength returns the epoch size in issued bursts; must be > 0
+	// (NewController rejects the policy otherwise).
+	EpochLength() int
+	// ObserveEpoch delivers one epoch's deltas. now is the DRAM cycle of
+	// the epoch's closing burst. The stats are a value copy; the observer
+	// may retain it freely but must not allocate on this path if it wants
+	// to preserve the controller's zero-alloc column path.
+	ObserveEpoch(now int64, delta EpochStats)
+}
+
 // FixedPolicy always applies one codec: the DBI baseline, the MiLC-only
 // configuration, the CAFO variants, and the fixed-burst-length sensitivity
 // study of Figure 20 are all FixedPolicy instances.

@@ -306,6 +306,18 @@ func (c *Controller) Snapshot(w *snap.Writer) {
 	w.Bool(c.wakeValid)
 	w.Int(c.consecFail)
 	w.Bool(c.inStorm)
+	// Per-epoch feedback progress, present exactly when the policy
+	// observes epochs. Presence is config-deterministic (it follows from
+	// the scheme), so checkpoints of every non-observing scheme keep
+	// their pre-epoch byte layout unchanged.
+	if c.epoch.obs != nil {
+		w.I64(c.epoch.bursts)
+		w.I64(c.epoch.mark.Bursts)
+		w.I64(c.epoch.mark.Zeros)
+		w.I64(c.epoch.mark.CostUnits)
+		w.I64(c.epoch.mark.Beats)
+		w.I64(c.epoch.mark.Retries)
+	}
 	// The idle-window tracker is observability state, but it is mutable
 	// per-cycle state all the same: an idle run open across the checkpoint
 	// must not be split in two, or the resumed run's histogram diverges.
@@ -398,6 +410,14 @@ func (c *Controller) Restore(r *snap.Reader) error {
 	c.wakeValid = r.Bool()
 	c.consecFail = r.Int()
 	c.inStorm = r.Bool()
+	if c.epoch.obs != nil {
+		c.epoch.bursts = r.I64()
+		c.epoch.mark.Bursts = r.I64()
+		c.epoch.mark.Zeros = r.I64()
+		c.epoch.mark.CostUnits = r.I64()
+		c.epoch.mark.Beats = r.I64()
+		c.epoch.mark.Retries = r.I64()
+	}
 	inIdle, idleStart := r.Bool(), r.I64()
 	if c.obs != nil {
 		c.obs.inIdle, c.obs.idleStart = inIdle, idleStart

@@ -1,0 +1,180 @@
+package scheme
+
+import (
+	"mil/internal/code"
+	"mil/internal/memctrl"
+	"mil/internal/milcore"
+)
+
+// This file registers every scheme. The registration order is the order
+// SchemeNames/-list-schemes present, grouped the way the paper's figures
+// do: the baselines, the MiL framework family, the naive and fixed-BL
+// sensitivity points, and the adaptive extension.
+
+// fixedCodec builds the FixedPolicy + standalone-codec pair for schemes
+// whose policy always applies one codec.
+func fixedCodec(build func() (code.Codec, error)) (func(Platform, Options) (memctrl.Policy, error), func() (code.Codec, error)) {
+	policy := func(Platform, Options) (memctrl.Policy, error) {
+		c, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return memctrl.FixedPolicy{Codec: c}, nil
+	}
+	return policy, build
+}
+
+// milPolicy builds the opportunistic MiL framework policy, optionally
+// without write-optimize or wrapped in the degradation ladder.
+func milPolicy(nowropt, degrade bool) func(Platform, Options) (memctrl.Policy, error) {
+	return func(_ Platform, o Options) (memctrl.Policy, error) {
+		opts := []milcore.Option{}
+		if o.LookaheadX > 0 {
+			opts = append(opts, milcore.WithLookahead(o.LookaheadX))
+		}
+		if nowropt {
+			opts = append(opts, milcore.WithoutWriteOptimize())
+		}
+		pol, err := milcore.New(opts...)
+		if err != nil {
+			return nil, err
+		}
+		if degrade {
+			return milcore.NewDegrader(pol)
+		}
+		return pol, nil
+	}
+}
+
+// stretched builds the MiLC codec padded to a fixed total burst length
+// (the Figure 20 intermediate points).
+func stretched(total int) func() (code.Codec, error) {
+	return func() (code.Codec, error) {
+		return milcore.NewStretched(code.MiLC{}, total)
+	}
+}
+
+func init() {
+	dbiPolicy, dbiCodec := fixedCodec(func() (code.Codec, error) { return code.DBI{}, nil })
+	register(&Descriptor{
+		Name: "baseline",
+		Help: "DBI (on LPDDR3: via transition signaling; Section 7.4)",
+		// DBI on both systems: DDR4 natively, LPDDR3 via flip-on-zero
+		// transition signaling (Section 7.4 normalizes LPDDR3 results to
+		// DBI too, which is why its savings mirror the DDR4 ones).
+		SharedClass: "fixed8",
+		Policy:      dbiPolicy,
+		Codec:       dbiCodec,
+	})
+	register(&Descriptor{
+		Name: "bi",
+		Help: "level-signaled bus-invert on the wires (Section 2.1.2)",
+		// The policy picks Raw (BL8 timing); the coding and toggle
+		// accounting happen statefully in the wire-level phy.
+		SharedClass: "fixed8",
+		Policy: func(Platform, Options) (memctrl.Policy, error) {
+			return memctrl.FixedPolicy{Codec: code.Raw{}}, nil
+		},
+		Phy: func(Platform) memctrl.Phy { return &memctrl.BIWirePhy{} },
+	})
+	milcPolicy, milcCodec := fixedCodec(func() (code.Codec, error) { return code.MiLC{}, nil })
+	register(&Descriptor{
+		Name:        "milc",
+		Aliases:     []string{"bl10"},
+		Help:        "MiLC-only (always the base code); bl10 in the Figure 20 sweep",
+		SharedClass: "fixed10",
+		Policy:      milcPolicy,
+		Codec:       milcCodec,
+	})
+	cafo2Policy, cafo2Codec := fixedCodec(func() (code.Codec, error) { return code.NewCAFO(2), nil })
+	register(&Descriptor{
+		Name:   "cafo2",
+		Help:   "CAFO under the MiL framework, 2 iterations (+2 CAS cycles)",
+		Policy: cafo2Policy,
+		Codec:  cafo2Codec,
+	})
+	cafo4Policy, cafo4Codec := fixedCodec(func() (code.Codec, error) { return code.NewCAFO(4), nil })
+	register(&Descriptor{
+		Name:   "cafo4",
+		Help:   "CAFO under the MiL framework, 4 iterations (+4 CAS cycles)",
+		Policy: cafo4Policy,
+		Codec:  cafo4Codec,
+	})
+	register(&Descriptor{
+		Name:          "mil",
+		Help:          "the full opportunistic MiL framework",
+		SharedClass:   "mil",
+		UsesLookahead: true,
+		Policy:        milPolicy(false, false),
+	})
+	register(&Descriptor{
+		Name: "mil3",
+		Help: "three-tier MiL with the BL14 hybrid between MiLC and 3-LWC (Section 7.5.3)",
+		Policy: func(Platform, Options) (memctrl.Policy, error) {
+			return milcore.NewTiered(code.LWC3{}, code.Hybrid{}, code.MiLC{})
+		},
+	})
+	register(&Descriptor{
+		Name:          "mil-nowropt",
+		Help:          "MiL without the write-optimize pass (ablation)",
+		UsesLookahead: true,
+		Policy:        milPolicy(true, false),
+	})
+	register(&Descriptor{
+		Name: "mil-x4",
+		Help: "MiL for ranks of x4 chips: no DBI pins, pin-free codes only (Section 4.1)",
+		Policy: func(Platform, Options) (memctrl.Policy, error) {
+			return milcore.NewTiered(code.Hybrid{}, code.MiLC{})
+		},
+	})
+	register(&Descriptor{
+		Name:          "mil-degrade",
+		Help:          "MiL wrapped in the graceful-degradation ladder (3-LWC/MiLC -> MiLC -> DBI)",
+		SharedClass:   "mil",
+		UsesLookahead: true,
+		Policy:        milPolicy(false, true),
+	})
+	lwc3Policy, lwc3Codec := fixedCodec(func() (code.Codec, error) { return code.LWC3{}, nil })
+	register(&Descriptor{
+		Name:        "lwc3",
+		Aliases:     []string{"bl16"},
+		Help:        "always the (8,17) 3-LWC (Figure 2's naive scheme); bl16 in the Figure 20 sweep",
+		SharedClass: "fixed16",
+		Policy:      lwc3Policy,
+		Codec:       lwc3Codec,
+	})
+	bl12Policy, bl12Codec := fixedCodec(stretched(12))
+	register(&Descriptor{
+		Name:   "bl12",
+		Help:   "MiLC stretched to a fixed 12-beat burst (Figure 20 sweep)",
+		Policy: bl12Policy,
+		Codec:  bl12Codec,
+	})
+	bl14Policy, bl14Codec := fixedCodec(stretched(14))
+	register(&Descriptor{
+		Name:   "bl14",
+		Help:   "MiLC stretched to a fixed 14-beat burst (Figure 20 sweep)",
+		Policy: bl14Policy,
+		Codec:  bl14Codec,
+	})
+	rawPolicy, rawCodec := fixedCodec(func() (code.Codec, error) { return code.Raw{}, nil })
+	register(&Descriptor{
+		Name:        "raw",
+		Help:        "uncoded transfers (Figure 7 normalization)",
+		SharedClass: "fixed8",
+		Policy:      rawPolicy,
+		Codec:       rawCodec,
+	})
+	register(&Descriptor{
+		Name: "mil-bandit",
+		Help: "epsilon-greedy bandit racing DBI/MiLC/Hybrid/CAFO2 per epoch on observed cost",
+		// Singleton timing class, and never cluster-adopted: the arm the
+		// bandit plays depends on observed per-epoch stats, so a trace
+		// that merely reproduces the *timing* of another class could
+		// silently change which codecs played (see Descriptor.NeverCluster).
+		NeverCluster: true,
+		Policy: func(_ Platform, o Options) (memctrl.Policy, error) {
+			return milcore.NewBandit(o.Seed)
+		},
+	})
+}

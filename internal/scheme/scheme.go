@@ -1,0 +1,312 @@
+// Package scheme is the single source of truth for the coding
+// configurations the simulator accepts. Every scheme — a policy that
+// picks codecs per burst, the phy it drives, its aliases, and the
+// front-end timing class its request stream belongs to — registers one
+// self-describing Descriptor here, and everything else resolves through
+// the registry: sim builds policies with Build and keys its trace cache
+// with TimingClass, the experiment tables and the milsim/milexp/milcodec
+// CLIs enumerate Names and CodecNames, and -list-schemes prints
+// WriteTable. Adding a codec or policy is one registration plus tests,
+// not a cross-cutting switch-statement hunt.
+//
+// Re-entrancy contract (shared with package sim): the registry is built
+// once at init and never mutated afterwards — an init-time constant
+// table, safe for any number of concurrent readers.
+package scheme
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"mil/internal/code"
+	"mil/internal/memctrl"
+	"mil/internal/milcore"
+)
+
+// Platform carries the interface properties a scheme build depends on.
+type Platform struct {
+	// POD is true on the VDDQ-terminated DDR4 interface, where transmitted
+	// zeros cost energy; false selects the unterminated LPDDR3 interface
+	// driven with transition signaling, where toggles cost energy.
+	POD bool
+}
+
+// String names the platform the way the availability column prints it.
+func (p Platform) String() string {
+	if p.POD {
+		return "server-ddr4"
+	}
+	return "mobile-lpddr3"
+}
+
+// Options carries the per-run knobs a scheme build may consume.
+type Options struct {
+	// LookaheadX overrides MiL's look-ahead distance when > 0.
+	LookaheadX int
+	// Seed is the run seed; stateful adaptive policies (mil-bandit)
+	// derive their private PRNG streams from it so runs stay
+	// bit-reproducible per seed.
+	Seed uint64
+}
+
+// Descriptor is one scheme's registration: everything the rest of the
+// stack needs to know about it, declared in one place.
+type Descriptor struct {
+	// Name is the canonical scheme name.
+	Name string
+	// Aliases are additional accepted names resolving to this exact
+	// descriptor (bl10 is milc, bl16 is lwc3: identical builds, kept for
+	// the Figure 20 fixed-burst-length sweep's vocabulary).
+	Aliases []string
+	// Help is the one-line description the -list-schemes table prints.
+	Help string
+
+	// SharedClass names the front-end timing class this scheme shares
+	// with others ("" = singleton: the scheme's own typed name). Schemes
+	// sharing a class produce identical request streams at the
+	// cache↔memctrl boundary, so one recorded trace replays for all of
+	// them (see TimingClass).
+	SharedClass string
+	// UsesLookahead marks schemes whose front-end timing depends on the
+	// look-ahead distance; their class strings carry the resolved x.
+	UsesLookahead bool
+	// NeverCluster forbids the trace cluster store from even *trialling*
+	// this scheme's cells against other classes' recorded traces
+	// (Config.ClusterKey returns ""). The divergence fence verifies
+	// timing only, so it protects schemes whose *decisions* — not just
+	// timing — depend on observed history: mil-bandit's arm choices feed
+	// on per-epoch stats, and replaying it under an adopted trace could
+	// reproduce the timing while silently changing which codecs played.
+	NeverCluster bool
+
+	// Platforms restricts where the scheme builds; nil means every
+	// platform. Build rejects a platform not listed here.
+	Platforms []Platform
+
+	// Policy builds the controller policy for one run. Required.
+	Policy func(p Platform, o Options) (memctrl.Policy, error)
+	// Phy, when non-nil, overrides the platform's default interface
+	// model (bi substitutes the wire-level bus-invert phy).
+	Phy func(p Platform) memctrl.Phy
+	// Codec, when non-nil, builds the scheme's standalone data-path
+	// codec, letting milcodec exercise fixed-codec schemes (including
+	// the stretched bl12/bl14, which live in milcore and are out of
+	// code.ByName's reach). Nil for dynamic-policy schemes whose codec
+	// varies per burst.
+	Codec func() (code.Codec, error)
+}
+
+// availableOn reports whether the scheme builds on p.
+func (d *Descriptor) availableOn(p Platform) bool {
+	if len(d.Platforms) == 0 {
+		return true
+	}
+	for _, have := range d.Platforms {
+		if have == p {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrUnknown is wrapped by Build for unregistered scheme names; callers
+// test it with errors.Is to layer their own message on top.
+var ErrUnknown = errors.New("unknown scheme")
+
+// ordered and byName form the registry. Built once by init (see
+// registerAll in registry.go), constant afterwards.
+var (
+	ordered []*Descriptor
+	byName  = map[string]*Descriptor{}
+)
+
+// register adds one descriptor, panicking on registration bugs (dup
+// names, missing factories) — these are programmer errors caught by any
+// test that imports the package.
+func register(d *Descriptor) {
+	if d.Name == "" || d.Policy == nil {
+		panic("scheme: descriptor needs a name and a policy factory")
+	}
+	if _, dup := byName[d.Name]; dup {
+		panic("scheme: duplicate registration of " + d.Name)
+	}
+	ordered = append(ordered, d)
+	byName[d.Name] = d
+	for _, a := range d.Aliases {
+		if _, dup := byName[a]; dup {
+			panic("scheme: duplicate registration of alias " + a)
+		}
+		byName[a] = d
+	}
+}
+
+// Lookup resolves a scheme name or alias to its descriptor.
+func Lookup(name string) (*Descriptor, bool) {
+	d, ok := byName[name]
+	return d, ok
+}
+
+// All returns the canonical descriptors in registration order.
+func All() []*Descriptor {
+	out := make([]*Descriptor, len(ordered))
+	copy(out, ordered)
+	return out
+}
+
+// Names returns every accepted scheme name: each canonical name in
+// registration order, immediately followed by its aliases.
+func Names() []string {
+	var out []string
+	for _, d := range ordered {
+		out = append(out, d.Name)
+		out = append(out, d.Aliases...)
+	}
+	return out
+}
+
+// Build constructs the policy and phy factory for a scheme on a
+// platform. Unknown names report ErrUnknown (wrapped); callers that need
+// their own message test with errors.Is and reformat.
+func Build(name string, p Platform, o Options) (memctrl.Policy, func() memctrl.Phy, error) {
+	d, ok := byName[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w %q", ErrUnknown, name)
+	}
+	if !d.availableOn(p) {
+		return nil, nil, fmt.Errorf("scheme: %s is not available on %s", d.Name, p)
+	}
+	pol, err := d.Policy(p, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	newPhy := func() memctrl.Phy { return defaultPhy(p) }
+	if d.Phy != nil {
+		build := d.Phy
+		newPhy = func() memctrl.Phy { return build(p) }
+	}
+	return pol, newPhy, nil
+}
+
+// defaultPhy is the platform's native interface model.
+func defaultPhy(p Platform) memctrl.Phy {
+	if p.POD {
+		return &memctrl.PODPhy{}
+	}
+	return &memctrl.TransitionPhy{}
+}
+
+// TimingClass maps a scheme (plus its look-ahead override) onto its
+// front-end timing-equivalence class. Two configurations that agree on
+// everything else and share a class produce the *identical* request
+// stream at the cache↔memctrl boundary — same clocks, addresses,
+// priorities, and completion times — so one recorded trace replays for
+// all of them. The codec only feeds back into front-end timing through
+// the burst length the policy picks, hence the registered classes:
+//
+//   - baseline/bi/raw all drive fixed 8-beat bursts ("fixed8"): DBI,
+//     wire-level bus-invert, and uncoded transfers differ on the pins,
+//     not on the schedule.
+//   - a fixed policy's schedule depends on its codec only through the
+//     burst beat count and the codec's ExtraLatency: milc/bl10 run the
+//     identical MiLC codec ("fixed10"), lwc3/bl16 the identical 3-LWC
+//     ("fixed16"). cafo2/cafo4 are 10-beat too but add 2 and 4 cycles of
+//     encode latency, so they are NOT in fixed10 (the replay driver's
+//     divergence check catches exactly this kind of wishful merge).
+//   - mil and mil-degrade are identical while no faults fire (the
+//     ladder's level 0 delegates verbatim and can only demote on link
+//     errors), and a look-ahead of 0 means the scheme default, so x=0 ≡
+//     x=default. Distinct look-ahead distances do NOT merge: on
+//     streaming workloads the bus slack hides any x (STRMATCH replays
+//     byte-identically across x = 2..14), but on random-access GUPS the
+//     slack runs out and a shorter look-ahead shifts read completions by
+//     a few cycles — the replay fence rejects the cross-x replay there,
+//     so each x stays its own class rather than relying on
+//     workload-dependent luck.
+//   - with fault injection enabled, error draws depend on the bits each
+//     codec drives, which feeds back into retry timing — every scheme
+//     becomes its own class.
+//
+// Everything else (cafo/bl12/bl14/mil3/mil-x4/mil-nowropt, mil-bandit,
+// and unknown schemes) is conservatively a singleton class. The typed
+// name — not the canonical one — keys singleton and fault classes, so
+// alias spellings keep their historical class strings.
+func TimingClass(name string, lookaheadX int, faultEnabled bool) string {
+	d, registered := byName[name]
+	la := 0
+	if registered && d.UsesLookahead {
+		la = lookaheadX
+		if la == 0 {
+			la = milcore.DefaultLookahead
+		}
+	}
+	if faultEnabled {
+		return fmt.Sprintf("fault:%s|x=%d", name, la)
+	}
+	if registered && d.SharedClass != "" {
+		if d.UsesLookahead {
+			return fmt.Sprintf("%s|x=%d", d.SharedClass, la)
+		}
+		return d.SharedClass
+	}
+	return fmt.Sprintf("%s|x=%d", name, la)
+}
+
+// Codec resolves a standalone data-path codec by name: a registered
+// scheme's Codec factory when it has one, else the plain codec registry
+// (code.ByName), so every name code.ByName accepts keeps working and the
+// registry only adds names (bl12/bl14's stretched codecs, scheme
+// aliases). Unknown names keep code.ByName's error verbatim.
+func Codec(name string) (code.Codec, error) {
+	if d, ok := byName[name]; ok && d.Codec != nil {
+		return d.Codec()
+	}
+	return code.ByName(name)
+}
+
+// CodecNames lists every name Codec resolves to a distinct standalone
+// codec configuration: the plain codec registry plus the registry-only
+// stretched burst lengths.
+func CodecNames() []string {
+	names := code.Names()
+	out := make([]string, 0, len(names)+2)
+	out = append(out, names...)
+	return append(out, "bl12", "bl14")
+}
+
+// WriteTable prints the registry as the -list-schemes table: name,
+// aliases, clean-link timing class, burst shape (beats plus extra CAS
+// latency for fixed-codec schemes), platform availability, and the
+// one-line help.
+func WriteTable(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "SCHEME\tALIASES\tCLASS\tBURST\tPLATFORMS\tDESCRIPTION")
+	for _, d := range ordered {
+		aliases := "-"
+		if len(d.Aliases) > 0 {
+			aliases = strings.Join(d.Aliases, ",")
+		}
+		burst := "per-burst"
+		if d.Codec != nil {
+			if c, err := d.Codec(); err == nil {
+				burst = fmt.Sprintf("bl%d", c.Beats())
+				if x := c.ExtraLatency(); x > 0 {
+					burst += fmt.Sprintf("+%dcas", x)
+				}
+			}
+		}
+		plats := "all"
+		if len(d.Platforms) > 0 {
+			names := make([]string, len(d.Platforms))
+			for i, p := range d.Platforms {
+				names[i] = p.String()
+			}
+			plats = strings.Join(names, ",")
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n",
+			d.Name, aliases, TimingClass(d.Name, 0, false), burst, plats, d.Help)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,230 @@
+package scheme
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mil/internal/code"
+	"mil/internal/milcore"
+)
+
+// legacySchemeNames is the scheme list as of the pre-registry
+// sim.SchemeNames, frozen here as the compatibility contract: every one
+// of these names must keep resolving, and keep its timing class.
+var legacySchemeNames = []string{
+	"baseline", "bi", "milc", "cafo2", "cafo4", "mil", "mil3", "mil-nowropt",
+	"mil-x4", "mil-degrade", "lwc3", "bl10", "bl12", "bl14", "bl16", "raw",
+}
+
+// legacyTimingClass is a verbatim copy of the scheme-string switch that
+// lived in sim.timingClass before the registry. TimingClass must match
+// it byte for byte on every legacy scheme: the class strings key the
+// trace record/replay cache (FrontEndKey), so any drift silently
+// invalidates — or worse, mis-shares — recorded streams.
+func legacyTimingClass(scheme string, lookaheadX int, faultEnabled bool) string {
+	la := 0
+	switch scheme {
+	case "mil", "mil-degrade", "mil-nowropt":
+		la = lookaheadX
+		if la == 0 {
+			la = milcore.DefaultLookahead
+		}
+	}
+	if faultEnabled {
+		return fmt.Sprintf("fault:%s|x=%d", scheme, la)
+	}
+	switch scheme {
+	case "baseline", "bi", "raw":
+		return "fixed8"
+	case "milc", "bl10":
+		return "fixed10"
+	case "lwc3", "bl16":
+		return "fixed16"
+	case "mil", "mil-degrade":
+		return fmt.Sprintf("mil|x=%d", la)
+	}
+	return fmt.Sprintf("%s|x=%d", scheme, la)
+}
+
+func TestTimingClassMatchesLegacySwitch(t *testing.T) {
+	names := append([]string{}, legacySchemeNames...)
+	// Unregistered names fell through the legacy switch to the singleton
+	// format; the registry must preserve that too (hybrid is a codec
+	// name, not a scheme; "nope" is sim_test's canonical unknown).
+	names = append(names, "hybrid", "nope", "")
+	for _, name := range names {
+		for _, x := range []int{0, 1, 2, 8, 14} {
+			for _, faulty := range []bool{false, true} {
+				want := legacyTimingClass(name, x, faulty)
+				got := TimingClass(name, x, faulty)
+				if got != want {
+					t.Errorf("TimingClass(%q, %d, %v) = %q, legacy switch says %q",
+						name, x, faulty, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBanditTimingClassIsSingleton(t *testing.T) {
+	if got := TimingClass("mil-bandit", 0, false); got != "mil-bandit|x=0" {
+		t.Errorf("mil-bandit class = %q, want singleton \"mil-bandit|x=0\"", got)
+	}
+	// The look-ahead override must not split (or merge) bandit cells:
+	// the bandit ignores the lookahead, so x stays 0 in its class.
+	if got := TimingClass("mil-bandit", 8, false); got != "mil-bandit|x=0" {
+		t.Errorf("mil-bandit class with x=8 = %q, want \"mil-bandit|x=0\"", got)
+	}
+	d, ok := Lookup("mil-bandit")
+	if !ok {
+		t.Fatal("mil-bandit not registered")
+	}
+	if !d.NeverCluster {
+		t.Error("mil-bandit must declare NeverCluster: its arm choices depend on observed history")
+	}
+}
+
+func TestNamesCoverLegacyPlusBandit(t *testing.T) {
+	names := Names()
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("Names() lists %q twice", n)
+		}
+		seen[n] = true
+		if _, ok := Lookup(n); !ok {
+			t.Errorf("Names() lists %q but Lookup does not resolve it", n)
+		}
+	}
+	for _, n := range append(append([]string{}, legacySchemeNames...), "mil-bandit") {
+		if !seen[n] {
+			t.Errorf("Names() is missing %q", n)
+		}
+	}
+}
+
+func TestAliasesResolveToIdenticalDescriptors(t *testing.T) {
+	for alias, canonical := range map[string]string{"bl10": "milc", "bl16": "lwc3"} {
+		da, ok := Lookup(alias)
+		if !ok {
+			t.Fatalf("alias %q not registered", alias)
+		}
+		dc, ok := Lookup(canonical)
+		if !ok {
+			t.Fatalf("scheme %q not registered", canonical)
+		}
+		if da != dc {
+			t.Errorf("Lookup(%q) and Lookup(%q) return distinct descriptors", alias, canonical)
+		}
+	}
+	for _, d := range All() {
+		for _, a := range d.Aliases {
+			if got, _ := Lookup(a); got != d {
+				t.Errorf("alias %q of %q resolves elsewhere", a, d.Name)
+			}
+		}
+	}
+}
+
+func TestEverySchemeBuildsOnDeclaredPlatforms(t *testing.T) {
+	for _, d := range All() {
+		platforms := d.Platforms
+		if len(platforms) == 0 {
+			platforms = []Platform{{POD: true}, {POD: false}}
+		}
+		for _, p := range platforms {
+			for _, name := range append([]string{d.Name}, d.Aliases...) {
+				pol, newPhy, err := Build(name, p, Options{Seed: 1})
+				if err != nil {
+					t.Errorf("Build(%q, %s) failed: %v", name, p, err)
+					continue
+				}
+				if pol == nil || newPhy == nil || newPhy() == nil {
+					t.Errorf("Build(%q, %s) returned nil policy or phy", name, p)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildUnknownScheme(t *testing.T) {
+	_, _, err := Build("nope", Platform{POD: true}, Options{})
+	if !errors.Is(err, ErrUnknown) {
+		t.Fatalf("Build of unknown scheme returned %v, want ErrUnknown", err)
+	}
+	if !strings.Contains(err.Error(), `"nope"`) {
+		t.Errorf("unknown-scheme error %q does not name the scheme", err)
+	}
+}
+
+// TestCodecParityWithByName is the registry ↔ code.ByName contract: for
+// every name the plain codec registry accepts, scheme.Codec must resolve
+// the same codec configuration.
+func TestCodecParityWithByName(t *testing.T) {
+	for _, name := range code.Names() {
+		want, err := code.ByName(name)
+		if err != nil {
+			t.Fatalf("code.ByName(%q): %v", name, err)
+		}
+		got, err := Codec(name)
+		if err != nil {
+			t.Fatalf("scheme.Codec(%q): %v", name, err)
+		}
+		if got.Name() != want.Name() || got.Beats() != want.Beats() ||
+			got.ExtraLatency() != want.ExtraLatency() {
+			t.Errorf("scheme.Codec(%q) = %s/bl%d/+%d, code.ByName = %s/bl%d/+%d",
+				name, got.Name(), got.Beats(), got.ExtraLatency(),
+				want.Name(), want.Beats(), want.ExtraLatency())
+		}
+	}
+	// Unknown names keep code.ByName's error verbatim.
+	_, wantErr := code.ByName("nonesuch")
+	_, gotErr := Codec("nonesuch")
+	if wantErr == nil || gotErr == nil || gotErr.Error() != wantErr.Error() {
+		t.Errorf("unknown codec error = %v, code.ByName says %v", gotErr, wantErr)
+	}
+}
+
+// TestCodecNamesAllResolve covers the registry-only additions: bl12/bl14
+// (the stretched codecs code.ByName cannot build without importing
+// milcore) must resolve and round out the Figure 20 burst lengths.
+func TestCodecNamesAllResolve(t *testing.T) {
+	beats := map[string]bool{}
+	for _, name := range CodecNames() {
+		c, err := Codec(name)
+		if err != nil {
+			t.Errorf("Codec(%q): %v", name, err)
+			continue
+		}
+		beats[fmt.Sprintf("bl%d", c.Beats())] = true
+	}
+	for _, bl := range []string{"bl8", "bl10", "bl12", "bl14", "bl16"} {
+		if !beats[bl] {
+			t.Errorf("CodecNames resolves no %s codec", bl)
+		}
+	}
+	if c, err := Codec("bl12"); err != nil || c.Beats() != 12 {
+		t.Errorf("Codec(bl12) = %v beats, err %v; want 12-beat stretched MiLC", c, err)
+	}
+	if c, err := Codec("bl14"); err != nil || c.Beats() != 14 {
+		t.Errorf("Codec(bl14) = %v beats, err %v; want 14-beat stretched MiLC", c, err)
+	}
+}
+
+func TestWriteTableListsEverything(t *testing.T) {
+	var sb strings.Builder
+	WriteTable(&sb)
+	out := sb.String()
+	for _, d := range All() {
+		if !strings.Contains(out, d.Name) {
+			t.Errorf("WriteTable output missing scheme %q", d.Name)
+		}
+	}
+	for _, alias := range []string{"bl10", "bl16"} {
+		if !strings.Contains(out, alias) {
+			t.Errorf("WriteTable output missing alias %q", alias)
+		}
+	}
+}

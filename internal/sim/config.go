@@ -5,10 +5,11 @@
 // bar of the paper's figures.
 //
 // Re-entrancy contract: Run is safe to call from any number of goroutines
-// at once. No package in the stack (sim, memctrl, dram, cache, cpu, code,
-// milcore, fault, energy, workload, bitblock) holds package-level mutable
-// state - the only package-level variables anywhere are init-time constant
-// tables - and Run builds a private instance of every model it ticks.
+// at once. No package in the stack (sim, scheme, memctrl, dram, cache,
+// cpu, code, milcore, fault, energy, workload, bitblock) holds
+// package-level mutable state - the only package-level variables anywhere
+// are init-time constant tables (the scheme registry among them) - and
+// Run builds a private instance of every model it ticks.
 // Config is a plain value, safely copyable; the pointers it carries
 // (Benchmark, Trace, Obs) are the caller's to share or not. A
 // *workload.Benchmark may feed concurrent runs (its lazy layout memoization
@@ -21,15 +22,15 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"mil/internal/cache"
-	"mil/internal/code"
 	"mil/internal/cpu"
 	"mil/internal/dram"
 	"mil/internal/energy"
 	"mil/internal/memctrl"
-	"mil/internal/milcore"
+	"mil/internal/scheme"
 )
 
 // SystemKind selects one of the two evaluated platforms (Table 2).
@@ -85,91 +86,22 @@ func platformFor(kind SystemKind) platform {
 	}
 }
 
-// SchemeNames lists every coding configuration Run accepts:
-//
-//	baseline        - DBI (on LPDDR3: via transition signaling; Section 7.4)
-//	bi              - level-signaled bus-invert on the wires (Section 2.1.2)
-//	milc            - MiLC-only (always the base code)
-//	cafo2, cafo4    - CAFO under the MiL framework, 2 or 4 iterations
-//	mil             - the full opportunistic MiL framework
-//	mil3            - extension (Section 7.5.3): three-tier MiL with the
-//	                  intermediate BL14 hybrid code between MiLC and 3-LWC
-//	lwc3            - always the (8,17) 3-LWC (Figure 2's naive scheme)
-//	bl10..bl16      - fixed burst lengths for the Figure 20 sweep
-//	raw             - uncoded transfers (Figure 7 normalization)
-//	mil-degrade     - MiL wrapped in the graceful-degradation ladder
-//	                  (3-LWC/MiLC -> MiLC -> DBI on persistent link errors)
-func SchemeNames() []string {
-	return []string{
-		"baseline", "bi", "milc", "cafo2", "cafo4", "mil", "mil3", "mil-nowropt",
-		"mil-x4", "mil-degrade", "lwc3", "bl10", "bl12", "bl14", "bl16", "raw",
-	}
-}
-
-// timingClass maps a scheme (plus its look-ahead override) onto its
-// front-end timing-equivalence class. Two configurations that agree on
-// everything else and share a class produce the *identical* request stream
-// at the cache↔memctrl boundary — same clocks, addresses, priorities, and
-// completion times — so one recorded trace replays for all of them. The
-// codec only feeds back into front-end timing through the burst length the
-// policy picks, hence:
-//
-//   - baseline/bi/raw all drive fixed 8-beat bursts ("fixed8"): DBI,
-//     wire-level bus-invert, and uncoded transfers differ on the pins, not
-//     on the schedule.
-//   - a fixed policy's schedule depends on its codec only through the
-//     burst beat count and the codec's ExtraLatency: milc/bl10 run the
-//     identical MiLC codec ("fixed10"), lwc3/bl16 the identical 3-LWC
-//     ("fixed16"). cafo2/cafo4 are 10-beat too but add 2 and 4 cycles of
-//     encode latency, so they are NOT in fixed10 (the replay driver's
-//     divergence check catches exactly this kind of wishful merge).
-//   - mil and mil-degrade are identical while no faults fire (the ladder's
-//     level 0 delegates verbatim and can only demote on link errors), and
-//     a look-ahead of 0 means the scheme default, so x=0 ≡ x=default.
-//     Distinct look-ahead distances do NOT merge: on streaming workloads
-//     the bus slack hides any x (STRMATCH replays byte-identically across
-//     x = 2..14), but on random-access GUPS the slack runs out and a
-//     shorter look-ahead shifts read completions by a few cycles — the
-//     replay fence rejects the cross-x replay there, so each x stays its
-//     own class rather than relying on workload-dependent luck.
-//   - with fault injection enabled, error draws depend on the bits each
-//     codec drives, which feeds back into retry timing — every scheme
-//     becomes its own class.
-//
-// Everything else (cafo/bl12/bl14/mil3/mil-x4/mil-nowropt and unknown
-// schemes) is conservatively a singleton class.
-func timingClass(scheme string, lookaheadX int, faultEnabled bool) string {
-	la := 0
-	switch scheme {
-	case "mil", "mil-degrade", "mil-nowropt":
-		la = lookaheadX
-		if la == 0 {
-			la = milcore.DefaultLookahead
-		}
-	}
-	if faultEnabled {
-		return fmt.Sprintf("fault:%s|x=%d", scheme, la)
-	}
-	switch scheme {
-	case "baseline", "bi", "raw":
-		return "fixed8"
-	case "milc", "bl10":
-		return "fixed10"
-	case "lwc3", "bl16":
-		return "fixed16"
-	case "mil", "mil-degrade":
-		return fmt.Sprintf("mil|x=%d", la)
-	}
-	return fmt.Sprintf("%s|x=%d", scheme, la)
-}
+// SchemeNames lists every coding configuration Run accepts, straight
+// from the scheme registry (see internal/scheme, and `milsim
+// -list-schemes` for the annotated table): the baselines
+// (baseline/bi/raw), the MiL framework family
+// (mil/mil3/mil-nowropt/mil-x4/mil-degrade), the fixed codecs
+// (milc/cafo2/cafo4/lwc3), the Figure 20 fixed burst lengths
+// (bl10..bl16), and the adaptive mil-bandit extension.
+func SchemeNames() []string { return scheme.Names() }
 
 // FrontEndKey renders every configuration field that shapes the request
 // stream at the cache↔memctrl boundary. Scheme and LookaheadX enter only
-// through their timing class — that collapse is exactly what makes trace
-// reuse across codec/policy cells sound. Steplock is included because a
-// replayed Result reports the recorded run's loop counters; fault and
-// retry knobs are included in full because retries feed controller timing
-// back into the front-end.
+// through their timing class (scheme.TimingClass) — that collapse is
+// exactly what makes trace reuse across codec/policy cells sound.
+// Steplock is included because a replayed Result reports the recorded
+// run's loop counters; fault and retry knobs are included in full
+// because retries feed controller timing back into the front-end.
 func (c *Config) FrontEndKey() string {
 	benchName := ""
 	if c.Benchmark != nil {
@@ -178,7 +110,7 @@ func (c *Config) FrontEndKey() string {
 	return fmt.Sprintf("mil-fe-v1|sys=%d|class=%s|bench=%s|ops=%d|max=%d|verify=%v|pd=%v"+
 		"|ber=%g|brate=%g|blen=%d|stuck=%v|stuckv=%v|fseed=%d"+
 		"|crc=%v|ca=%v|retry=%d/%d/%d/%d|seed=%d|steplock=%v",
-		c.System, timingClass(c.Scheme, c.LookaheadX, c.Fault.Enabled()), benchName,
+		c.System, scheme.TimingClass(c.Scheme, c.LookaheadX, c.Fault.Enabled()), benchName,
 		c.MemOpsPerThread, c.MaxCPUCycles, c.Verify, c.PowerDown,
 		c.Fault.BER, c.Fault.BurstRate, c.Fault.BurstLen, c.Fault.StuckPins, c.Fault.StuckVal, c.Fault.Seed,
 		c.WriteCRC, c.CAParity, c.Retry.MaxRetries, c.Retry.BackoffBase, c.Retry.BackoffMax, c.Retry.StormThreshold,
@@ -203,9 +135,14 @@ func (c *Config) FrontEndKey() string {
 // fault-cell trace that replays clean under another knob setting could
 // still carry the wrong payloads, so fault cells must never cluster:
 // ClusterKey returns "" (no cluster) whenever injection is enabled, and
-// callers must treat "" as unclusterable.
+// callers must treat "" as unclusterable. Schemes whose registry
+// descriptor declares NeverCluster (mil-bandit: its arm choices feed on
+// observed history, not just timing) are unclusterable the same way.
 func (c *Config) ClusterKey() string {
 	if c.Fault.Enabled() {
+		return ""
+	}
+	if d, ok := scheme.Lookup(c.Scheme); ok && d.NeverCluster {
 		return ""
 	}
 	benchName := ""
@@ -231,84 +168,16 @@ func (c *Config) FrontEndHash() uint64 {
 	return h
 }
 
-// schemeFor builds the policy and phy factory for a scheme on a platform.
-// lookaheadX overrides MiL's look-ahead distance when > 0.
-func schemeFor(name string, p platform, lookaheadX int) (memctrl.Policy, func() memctrl.Phy, error) {
-	newPhy := func() memctrl.Phy {
-		if p.pod {
-			return &memctrl.PODPhy{}
-		}
-		return &memctrl.TransitionPhy{}
+// schemeFor builds the policy and phy factory for a scheme on a platform
+// by resolving the scheme registry (internal/scheme, the single source
+// of truth for scheme names, factories, and timing classes). lookaheadX
+// overrides MiL's look-ahead distance when > 0; seed feeds stateful
+// adaptive policies (mil-bandit) their private PRNG streams.
+func schemeFor(name string, p platform, lookaheadX int, seed uint64) (memctrl.Policy, func() memctrl.Phy, error) {
+	pol, newPhy, err := scheme.Build(name, scheme.Platform{POD: p.pod},
+		scheme.Options{LookaheadX: lookaheadX, Seed: seed})
+	if errors.Is(err, scheme.ErrUnknown) {
+		return nil, nil, fmt.Errorf("sim: unknown scheme %q", name)
 	}
-	fixed := func(c code.Codec) (memctrl.Policy, func() memctrl.Phy, error) {
-		return memctrl.FixedPolicy{Codec: c}, newPhy, nil
-	}
-
-	switch name {
-	case "baseline":
-		// DBI on both systems: DDR4 natively, LPDDR3 via flip-on-zero
-		// transition signaling (Section 7.4 normalizes LPDDR3 results to
-		// DBI too, which is why its savings mirror the DDR4 ones).
-		return fixed(code.DBI{})
-	case "bi":
-		// Level-signaled bus-invert directly on the unterminated wires
-		// (the Section 2.1.2 alternative), kept for comparison studies.
-		return memctrl.FixedPolicy{Codec: code.Raw{}}, func() memctrl.Phy { return &memctrl.BIWirePhy{} }, nil
-	case "raw":
-		return fixed(code.Raw{})
-	case "milc", "bl10":
-		return fixed(code.MiLC{})
-	case "lwc3", "bl16":
-		return fixed(code.LWC3{})
-	case "cafo2":
-		return fixed(code.NewCAFO(2))
-	case "cafo4":
-		return fixed(code.NewCAFO(4))
-	case "bl12", "bl14":
-		total := 12
-		if name == "bl14" {
-			total = 14
-		}
-		st, err := milcore.NewStretched(code.MiLC{}, total)
-		if err != nil {
-			return nil, nil, err
-		}
-		return fixed(st)
-	case "mil", "mil-nowropt", "mil-degrade":
-		opts := []milcore.Option{}
-		if lookaheadX > 0 {
-			opts = append(opts, milcore.WithLookahead(lookaheadX))
-		}
-		if name == "mil-nowropt" {
-			opts = append(opts, milcore.WithoutWriteOptimize())
-		}
-		pol, err := milcore.New(opts...)
-		if err != nil {
-			return nil, nil, err
-		}
-		if name == "mil-degrade" {
-			deg, err := milcore.NewDegrader(pol)
-			if err != nil {
-				return nil, nil, err
-			}
-			return deg, newPhy, nil
-		}
-		return pol, newPhy, nil
-	case "mil3":
-		pol, err := milcore.NewTiered(code.LWC3{}, code.Hybrid{}, code.MiLC{})
-		if err != nil {
-			return nil, nil, err
-		}
-		return pol, newPhy, nil
-	case "mil-x4":
-		// MiL for ranks of x4 chips (Section 4.1): x4 devices have no DBI
-		// pins, so the baseline is uncoded and the framework runs with the
-		// pin-free codes only (hybrid BL14 wide, MiLC base).
-		pol, err := milcore.NewTiered(code.Hybrid{}, code.MiLC{})
-		if err != nil {
-			return nil, nil, err
-		}
-		return pol, newPhy, nil
-	}
-	return nil, nil, fmt.Errorf("sim: unknown scheme %q", name)
+	return pol, newPhy, err
 }

@@ -5,7 +5,7 @@ import (
 
 	"mil/internal/energy"
 	"mil/internal/memctrl"
-	"mil/internal/milcore"
+	"mil/internal/obs"
 	"mil/internal/trace"
 )
 
@@ -37,8 +37,8 @@ func replayRun(cfg Config) (*Result, error) {
 			cfg.Obs.Trace.SetTimebase(plat.dram.ClockNS / 2)
 		}
 		memSys.SetObs(cfg.Obs)
-		if d, ok := policy.(*milcore.Degrader); ok {
-			d.SetObs(cfg.Obs)
+		if p, ok := policy.(interface{ SetObs(*obs.Obs) }); ok {
+			p.SetObs(cfg.Obs)
 		}
 	}
 

@@ -12,9 +12,9 @@ import (
 	"mil/internal/energy"
 	"mil/internal/fault"
 	"mil/internal/memctrl"
-	"mil/internal/milcore"
 	"mil/internal/obs"
 	"mil/internal/sched"
+	"mil/internal/snap"
 	"mil/internal/trace"
 	"mil/internal/workload"
 )
@@ -333,7 +333,7 @@ func (p *memPort) WriteLine(line int64, stream int) bool {
 // the replay driver share it so a replayed cell's backend is identical by
 // construction to the backend a full simulation of that cell would build.
 func buildMemSystem(cfg *Config, plat platform) (memctrl.Policy, *memctrl.System, *memctrl.OverlayMemory, error) {
-	policy, newPhy, err := schemeFor(cfg.Scheme, plat, cfg.LookaheadX)
+	policy, newPhy, err := schemeFor(cfg.Scheme, plat, cfg.LookaheadX, cfg.Seed)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -482,8 +482,8 @@ func Run(cfg Config) (*Result, error) {
 		memSys.SetObs(cfg.Obs)
 		hier.SetObs(cfg.Obs)
 		proc.SetObs(cfg.Obs)
-		if d, ok := policy.(*milcore.Degrader); ok {
-			d.SetObs(cfg.Obs)
+		if p, ok := policy.(interface{ SetObs(*obs.Obs) }); ok {
+			p.SetObs(cfg.Obs)
 		}
 	}
 
@@ -510,13 +510,13 @@ func Run(cfg Config) (*Result, error) {
 	// every stateful component; gate runs at the top of the loop body in
 	// both modes, just before the landed cycle fires, so a snapshot means
 	// "about to fire cycle cpuNow" under either loop.
-	var degr *milcore.Degrader
-	if d, ok := policy.(*milcore.Degrader); ok {
-		degr = d
+	var polSnap snap.Snapshotter
+	if s, ok := policy.(snap.Snapshotter); ok {
+		polSnap = s
 	}
 	m := &machine{
 		cfg: &cfg, ev: ev, streams: streams, proc: proc, hier: hier,
-		memSys: memSys, mem: mem, degr: degr, port: port,
+		memSys: memSys, mem: mem, polSnap: polSnap, port: port,
 	}
 	if cfg.Resume != "" {
 		resumed, err := m.loadCheckpoint(cfg.Resume)

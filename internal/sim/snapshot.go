@@ -8,7 +8,6 @@ import (
 	"mil/internal/cache"
 	"mil/internal/cpu"
 	"mil/internal/memctrl"
-	"mil/internal/milcore"
 	"mil/internal/sched"
 	"mil/internal/snap"
 )
@@ -51,7 +50,7 @@ func (c *Config) Hash() uint64 {
 // machine bundles every stateful component of one run for snapshotting.
 // The serialization order is fixed and positional (see package snap):
 // next-cycle, event clock, workload streams, processor, hierarchy, memory
-// system (with device and phy state), write overlay, degrade ladder,
+// system (with device and phy state), write overlay, policy state,
 // memory port, metrics registry.
 type machine struct {
 	cfg     *Config
@@ -61,7 +60,10 @@ type machine struct {
 	hier    *cache.Hierarchy
 	memSys  *memctrl.System
 	mem     *memctrl.OverlayMemory
-	degr    *milcore.Degrader // nil unless the scheme degrades
+	// polSnap carries the policy's mutable state (the degrade ladder,
+	// the bandit's estimates); nil for stateless policies. Presence is
+	// scheme-determined, so the snapshot layout stays config-stable.
+	polSnap snap.Snapshotter
 	port    *memPort
 }
 
@@ -80,9 +82,9 @@ func (m *machine) snapshot(cpuNow int64) []byte {
 	m.hier.Snapshot(&w)
 	m.memSys.Snapshot(&w)
 	m.mem.Snapshot(&w)
-	w.Bool(m.degr != nil)
-	if m.degr != nil {
-		m.degr.Snapshot(&w)
+	w.Bool(m.polSnap != nil)
+	if m.polSnap != nil {
+		m.polSnap.Snapshot(&w)
 	}
 	m.snapshotPort(&w)
 	// The metrics registry accumulates per-event counters incrementally,
@@ -133,15 +135,15 @@ func (m *machine) restore(r *snap.Reader) (int64, error) {
 	if err := m.mem.Restore(r); err != nil {
 		return 0, err
 	}
-	hadDegr := r.Bool()
+	hadPol := r.Bool()
 	if err := r.Err(); err != nil {
 		return 0, err
 	}
-	if hadDegr != (m.degr != nil) {
-		return 0, fmt.Errorf("sim: snapshot degrader presence %v, config says %v", hadDegr, m.degr != nil)
+	if hadPol != (m.polSnap != nil) {
+		return 0, fmt.Errorf("sim: snapshot policy-state presence %v, config says %v", hadPol, m.polSnap != nil)
 	}
-	if m.degr != nil {
-		if err := m.degr.Restore(r); err != nil {
+	if m.polSnap != nil {
+		if err := m.polSnap.Restore(r); err != nil {
 			return 0, err
 		}
 	}

@@ -25,6 +25,7 @@ import (
 	"mil/internal/code"
 	"mil/internal/fault"
 	"mil/internal/memctrl"
+	"mil/internal/scheme"
 	"mil/internal/sim"
 	"mil/internal/workload"
 )
@@ -118,8 +119,8 @@ func Benchmarks() []string { return workload.Names() }
 func Schemes() []string { return sim.SchemeNames() }
 
 // NewCodec constructs a standalone codec by name: "raw", "dbi", "milc",
-// "lwc3", or "cafoN".
-func NewCodec(name string) (Codec, error) { return code.ByName(name) }
+// "lwc3", "cafoN", or the stretched burst lengths "bl12"/"bl14".
+func NewCodec(name string) (Codec, error) { return scheme.Codec(name) }
 
 // BlockFromBytes builds a Block from up to 64 bytes (zero padded).
 func BlockFromBytes(p []byte) Block { return bitblock.FromBytes(p) }
