@@ -29,7 +29,7 @@ verify: build vet test race kernelcheck registrycheck
 # differential fuzz seed corpus (word-parallel counters vs bit-at-a-time
 # references) plus the probe/scratch equivalence and zero-alloc checks.
 kernelcheck:
-	$(GO) test -run 'FuzzKernelEquivalence|TestCostZerosEquivalence|TestEncodeIntoMatchesEncode|TestSteadyStateZeroAllocs' -count=1 ./internal/code/
+	$(GO) test -run 'FuzzKernelEquivalence|TestCostZerosEquivalence|TestEncodeIntoMatchesEncode|TestSteadyStateZeroAllocs|TestOptMem|TestVLWC|TestZAD|TestDecodeRejectsForeignDrivenMask' -count=1 ./internal/code/
 
 # The registry-drift referee: the scheme registry must keep every
 # pre-registry contract byte for byte — timing classes against the frozen
@@ -59,6 +59,7 @@ cover:
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzRoundTrip -fuzztime=30s ./internal/code/
 	$(GO) test -run=NONE -fuzz=FuzzDecodeCorrupted -fuzztime=30s ./internal/code/
+	$(GO) test -run=NONE -fuzz=FuzzDecodeDims -fuzztime=30s ./internal/code/
 	$(GO) test -run=NONE -fuzz=FuzzKernelEquivalence -fuzztime=30s ./internal/code/
 	$(GO) test -run=NONE -fuzz=FuzzTraceRoundTrip -fuzztime=30s ./internal/trace/
 

@@ -96,16 +96,19 @@ type sweepReport struct {
 	// ClusterHits counts those adoptions and ClusterTrials the candidate
 	// replays the fence arbitrated (summed over all legs; only recording
 	// leaders trial). TraceHits counts the cells satisfied by replay
-	// across all legs (ReplaySeconds is their summed per-cell wall-clock —
-	// inflated by timesharing when workers contend for cores, which is why
-	// the replay leg is timed separately).
+	// across all legs. Earlier generations also emitted replay_seconds,
+	// the per-cell replay wall-clock summed over every leg; on a loaded
+	// host -j N timesharing multiplied each cell's apparent time by the
+	// contention factor (7.4 "seconds" of replay in a 1.0s leg), so the
+	// field is gone rather than recomputed — ReplayLegSeconds is the
+	// honest number, and old trajectory entries never carried the bogus
+	// sum in the first place.
 	Simulations     int64   `json:"simulations"`
 	RecordedTraces  int64   `json:"recorded_traces"`
 	TraceHits       int64   `json:"trace_hits"`
 	ClusterHits     int64   `json:"cluster_hits"`
 	ClusterTrials   int64   `json:"cluster_trials"`
 	ClusterMisses   int64   `json:"cluster_misses"`
-	ReplaySeconds   float64 `json:"replay_seconds"`
 	SerialSeconds   float64 `json:"serial_seconds"`
 	ParallelSeconds float64 `json:"parallel_seconds"`
 	Speedup         float64 `json:"speedup"`
@@ -196,9 +199,9 @@ func main() {
 	}
 	serialSims, _ := rs.Stats()
 	parallelSims, _ := rp.Stats()
-	serialHits, serialReplay := rs.TraceStats()
-	parallelHits, parallelReplay := rp.TraceStats()
-	replayLegHits, replayLegReplay := rr.TraceStats()
+	serialHits, _ := rs.TraceStats()
+	parallelHits, _ := rp.TraceStats()
+	replayLegHits, _ := rr.TraceStats()
 	fired, skipped := rs.LoopTotals()
 	var clHits, clTrials, clMisses int64
 	for _, r := range []*experiments.Runner{rs, rp, rr} {
@@ -215,7 +218,6 @@ func main() {
 		ClusterHits:      clHits,
 		ClusterTrials:    clTrials,
 		ClusterMisses:    clMisses,
-		ReplaySeconds:    (serialReplay + parallelReplay + replayLegReplay).Seconds(),
 		Workers:          *workers,
 		SerialSeconds:    serial.Seconds(),
 		ParallelSeconds:  parallel.Seconds(),

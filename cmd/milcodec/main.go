@@ -15,6 +15,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -51,6 +52,11 @@ func main() {
 	for _, name := range strings.Split(*schemes, ",") {
 		c, err := schemereg.Codec(strings.TrimSpace(name))
 		if err != nil {
+			if errors.Is(err, schemereg.ErrUnknown) {
+				fmt.Fprintf(os.Stderr, "milcodec: %v; the registry knows:\n\n", err)
+				schemereg.WriteTable(os.Stderr)
+				os.Exit(2)
+			}
 			log.Fatal(err)
 		}
 		var zeros, bits, toggles int64

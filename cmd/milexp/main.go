@@ -43,6 +43,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -124,6 +125,11 @@ func main() {
 	tables, err := r.Tables(*only)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "milexp:", err)
+		if errors.Is(err, scheme.ErrUnknown) {
+			fmt.Fprintln(os.Stderr, "\nthe registry knows:")
+			scheme.WriteTable(os.Stderr)
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 

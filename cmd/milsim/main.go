@@ -324,6 +324,11 @@ func main() {
 		}
 		if o.err != nil {
 			fmt.Fprintln(os.Stderr, "milsim:", o.err)
+			if errors.Is(o.err, schemereg.ErrUnknown) {
+				fmt.Fprintln(os.Stderr, "\nthe registry knows:")
+				schemereg.WriteTable(os.Stderr)
+				exit(2)
+			}
 			exit(1)
 		}
 		report(o.res)

@@ -207,6 +207,9 @@ func (CAFO) Decode(bu *bitblock.Burst) (bitblock.Block, error) {
 	if err := checkDims("cafo", bu, 10); err != nil {
 		return blk, err
 	}
+	if err := checkDriven("cafo", bu, false); err != nil {
+		return blk, err
+	}
 	var cws [bitblock.Chips]laneCW
 	loadLaneCodewords(bu, &cws, 10, 8)
 	for ch := range cws {

@@ -108,6 +108,10 @@ func TestCodecBurstDimensions(t *testing.T) {
 		"hybrid": {14, 64, 1},
 		"cafo2":  {10, 64, 2},
 		"cafo4":  {10, 64, 4},
+		"optmem": {8, 72, 0},
+		"vlwc":   {12, 64, 1},
+		"zad":    {8, 72, 0},
+		"zadr":   {8, 72, 0},
 	}
 	var blk bitblock.Block
 	for _, c := range allCodecs(t) {

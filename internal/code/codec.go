@@ -13,6 +13,8 @@ package code
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"mil/internal/bitblock"
 )
@@ -106,6 +108,47 @@ func checkDims(name string, bu *bitblock.Burst, beats int) error {
 	return nil
 }
 
+// drivenAll*/drivenData* are the two canonical driven masks any codec in
+// this package produces: every bus pin, or every pin minus the per-chip
+// DBI pins. Init-time constants for checkDriven.
+var (
+	drivenAllLo, drivenAllHi   uint64
+	drivenDataLo, drivenDataHi uint64
+)
+
+func init() {
+	drivenAllLo = ^uint64(0)
+	drivenAllHi = 1<<(BusWidth-64) - 1
+	drivenDataLo, drivenDataHi = drivenAllLo, drivenAllHi
+	for c := 0; c < bitblock.Chips; c++ {
+		p := chipDBIPin(c)
+		if p < 64 {
+			drivenDataLo &^= 1 << p
+		} else {
+			drivenDataHi &^= 1 << (p - 64)
+		}
+	}
+}
+
+// checkDriven validates a burst's per-pin driven mask against the
+// canonical mask the codec's Encode produces (all pins, or the DBI pins
+// parked). Decoders call it right after checkDims: a burst whose driven
+// set disagrees with the code was produced by a different scheme or a
+// misrouted replay, and reading data off pins the encoder never drove
+// would silently accept garbage.
+func checkDriven(name string, bu *bitblock.Burst, dbiPins bool) error {
+	wantLo, wantHi := drivenAllLo, drivenAllHi
+	if !dbiPins {
+		wantLo, wantHi = drivenDataLo, drivenDataHi
+	}
+	lo, hi := bu.DrivenWords()
+	if lo != wantLo || hi != wantHi {
+		return fmt.Errorf("code: %s decode of burst with driven mask %02x_%016x, want %02x_%016x",
+			name, hi, lo, wantHi, wantLo)
+	}
+	return nil
+}
+
 // chipDataPin returns the global pin index of data pin i of chip c.
 func chipDataPin(c, i int) int { return c*PinsPerChip + i }
 
@@ -121,7 +164,9 @@ func parkDBIPins(bu *bitblock.Burst) {
 }
 
 // ByName constructs a codec from its registry name. CAFO accepts any
-// iteration count via "cafoN". It returns an error for unknown names.
+// iteration count via "cafoN", VLWC any weight bound via "vlwcN", and ZAD
+// any chunk granularity via "zadN"/"zadNr" (trailing r = resilient mask).
+// It returns an error for unknown names.
 func ByName(name string) (Codec, error) {
 	switch name {
 	case "raw":
@@ -134,16 +179,36 @@ func ByName(name string) (Codec, error) {
 		return LWC3{}, nil
 	case "hybrid":
 		return Hybrid{}, nil
+	case "optmem":
+		return DefaultOptMem(), nil
+	case "vlwc":
+		return DefaultVLWC(), nil
+	case "zad":
+		return NewZAD(4, false)
+	case "zadr":
+		return NewZAD(4, true)
 	}
 	var iters int
 	if n, err := fmt.Sscanf(name, "cafo%d", &iters); n == 1 && err == nil && iters > 0 {
 		return NewCAFO(iters), nil
 	}
+	var w int
+	if n, err := fmt.Sscanf(name, "vlwc%d", &w); n == 1 && err == nil {
+		return NewVLWC(w, nil)
+	}
+	if spec, ok := strings.CutPrefix(name, "zad"); ok {
+		resilient := strings.HasSuffix(spec, "r")
+		if g, err := strconv.Atoi(strings.TrimSuffix(spec, "r")); err == nil {
+			return NewZAD(g, resilient)
+		}
+	}
 	return nil, fmt.Errorf("code: unknown codec %q", name)
 }
 
 // Names lists the registry names ByName accepts (CAFO shown for the two
-// iteration counts the paper evaluates).
+// iteration counts the paper evaluates, ZAD for both mask modes at the
+// default 4-beat granularity).
 func Names() []string {
-	return []string{"raw", "dbi", "milc", "lwc3", "hybrid", "cafo2", "cafo4"}
+	return []string{"raw", "dbi", "milc", "lwc3", "hybrid", "cafo2", "cafo4",
+		"optmem", "vlwc", "zad", "zadr"}
 }

@@ -52,6 +52,9 @@ func (Raw) Decode(bu *bitblock.Burst) (bitblock.Block, error) {
 	if err := checkDims("raw", bu, 8); err != nil {
 		return blk, err
 	}
+	if err := checkDriven("raw", bu, false); err != nil {
+		return blk, err
+	}
 	for beat := 0; beat < 8; beat++ {
 		for c := 0; c < bitblock.Chips; c++ {
 			blk[beat*bitblock.Chips+c] = byte(bu.BeatBits(beat, chipDataPin(c, 0), 8))
@@ -136,6 +139,9 @@ func (DBI) CostZeros(blk *bitblock.Block) int {
 func (DBI) Decode(bu *bitblock.Burst) (bitblock.Block, error) {
 	var blk bitblock.Block
 	if err := checkDims("dbi", bu, 8); err != nil {
+		return blk, err
+	}
+	if err := checkDriven("dbi", bu, true); err != nil {
 		return blk, err
 	}
 	for beat := 0; beat < 8; beat++ {

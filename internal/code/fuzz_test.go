@@ -6,10 +6,19 @@ import (
 	"mil/internal/bitblock"
 )
 
-// fuzzCodecs are the schemes whose round-trip the fuzzers pin down: the
-// three MiL building blocks plus the raw and hybrid paths.
+// fuzzCodecs are the schemes whose round-trip the fuzzers pin down: every
+// codec the registry exposes, so a family added to Names() is fuzzed
+// without touching this file.
 func fuzzCodecs() []Codec {
-	return []Codec{LWC3{}, MiLC{}, DBI{}, Raw{}, Hybrid{}}
+	var cs []Codec
+	for _, name := range Names() {
+		c, err := ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		cs = append(cs, c)
+	}
+	return cs
 }
 
 func fuzzBlock(raw []byte) bitblock.Block {
@@ -42,6 +51,55 @@ func FuzzRoundTrip(f *testing.F) {
 			}
 			if got != blk {
 				t.Fatalf("%s: round-trip mismatch", c.Name())
+			}
+		}
+	})
+}
+
+// FuzzDecodeDims feeds the decoders bursts of arbitrary shape, driven
+// mask, and contents: any accepted burst must have the codec's own
+// dimensions and canonical driven mask (pinned by re-encoding the decoded
+// block), and nothing may panic. This is the audit net for the silent-
+// acceptance class of bug: a decoder reading pins its encoder never drove.
+func FuzzDecodeDims(f *testing.F) {
+	f.Add(uint8(72), uint8(8), uint64(0), uint64(0), []byte("seed"))
+	f.Add(uint8(72), uint8(16), ^uint64(0), uint64(0xff), make([]byte, 144))
+	f.Add(uint8(64), uint8(8), ^uint64(0), uint64(0), make([]byte, 64))
+	f.Fuzz(func(t *testing.T, width, beats uint8, drLo, drHi uint64, raw []byte) {
+		w := int(width)%128 + 1
+		n := int(beats)%32 + 1
+		bu := bitblock.NewBurst(w, n)
+		for p := 0; p < w; p++ {
+			var bit uint64
+			if p < 64 {
+				bit = drLo >> p & 1
+			} else {
+				bit = drHi >> (p - 64) & 1
+			}
+			bu.SetDriven(p, bit == 1)
+		}
+		for i, b := range raw {
+			beat := i % n
+			pin := (i / n * 8) % w
+			for j := 0; j < 8 && pin+j < w; j++ {
+				bu.SetBit(beat, pin+j, b>>j&1 == 1)
+			}
+		}
+		for _, c := range fuzzCodecs() {
+			blk, err := c.Decode(bu)
+			if err != nil {
+				continue
+			}
+			if bu.Width != BusWidth || bu.Beats != c.Beats() {
+				t.Fatalf("%s: accepted a %dx%d burst, want %dx%d",
+					c.Name(), bu.Width, bu.Beats, BusWidth, c.Beats())
+			}
+			ref := c.Encode(&blk)
+			gotLo, gotHi := bu.DrivenWords()
+			wantLo, wantHi := ref.DrivenWords()
+			if gotLo != wantLo || gotHi != wantHi {
+				t.Fatalf("%s: accepted driven mask %#x,%#x, canonical is %#x,%#x",
+					c.Name(), gotLo, gotHi, wantLo, wantHi)
 			}
 		}
 	})

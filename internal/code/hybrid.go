@@ -127,6 +127,9 @@ func (Hybrid) Decode(bu *bitblock.Burst) (bitblock.Block, error) {
 	if err := checkDims("hybrid", bu, 14); err != nil {
 		return blk, err
 	}
+	if err := checkDriven("hybrid", bu, false); err != nil {
+		return blk, err
+	}
 	var cws [bitblock.Chips]laneCW
 	loadLaneCodewords(bu, &cws, 14, 8)
 	for c := range cws {

@@ -163,6 +163,9 @@ func (LWC3) Decode(bu *bitblock.Burst) (bitblock.Block, error) {
 	if err := checkDims("lwc3", bu, 16); err != nil {
 		return blk, err
 	}
+	if err := checkDriven("lwc3", bu, true); err != nil {
+		return blk, err
+	}
 	var cws [bitblock.Chips]laneCW
 	loadLaneCodewords(bu, &cws, 16, PinsPerChip)
 	for c := range cws {

@@ -215,6 +215,9 @@ func (MiLC) Decode(bu *bitblock.Burst) (bitblock.Block, error) {
 	if err := checkDims("milc", bu, 10); err != nil {
 		return blk, err
 	}
+	if err := checkDriven("milc", bu, false); err != nil {
+		return blk, err
+	}
 	var cws [bitblock.Chips]laneCW
 	loadLaneCodewords(bu, &cws, 10, 8)
 	for c := range cws {

@@ -1,0 +1,180 @@
+package code
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"mil/internal/bitblock"
+)
+
+// OptMem is the optimal memoryless bus encoding of Chee, Colbourn et al.
+// (arXiv 0712.2640) instantiated for the Figure 12 rank: each data byte is
+// mapped to one of the 2^8 lowest-weight 9-bit codewords of the widened
+// per-chip bus (8 data pins plus the DBI pin, the same wire budget DBI
+// already pays). Ranking all 512 nine-bit words by zero count, the best 256
+// are exactly those with at most four zeros (1+9+36+84+126 = 256), so the
+// code is a perfect packing of the weight-<=4 sphere and no memoryless
+// (8,9) code can transmit fewer zeros for any byte-frequency distribution
+// once the cheapest words go to the most frequent bytes.
+//
+// Codewords are assigned from a byte-frequency ranking: NewOptMem takes a
+// histogram, and the default instance uses the sparse-data prior the
+// paper's traffic study motivates (zero and near-zero bytes dominate), so
+// 0x00 gets the all-ones codeword - one zero cheaper than DBI's inverted
+// 0x00, which still pays for its DBI flag. Encode and decode are pure
+// table lookups (256-entry forward, 512-entry inverse), the implementation
+// the paper deems acceptable only because k = 9 keeps the tables tiny.
+//
+// Timing: BL8 with no extra CAS latency - the lookup happens in the pin
+// mux, like DBI's inversion - so optmem shares the "fixed8" front-end
+// timing class with the baseline.
+type OptMem struct {
+	enc  [256]uint16 // byte -> 9-bit codeword
+	cost [256]uint8  // byte -> zeros its codeword transmits
+	dec  [512]int16  // 9-bit word -> byte, -1 = outside the code
+}
+
+// optMemWordBits is the widened per-byte bus: 8 data pins + the DBI pin.
+const optMemWordBits = PinsPerChip
+
+// byteOrderByFrequency ranks the 256 byte values most-frequent-first for
+// codeword assignment: by descending count for a real histogram (ties by
+// value), or - for a nil or all-zero histogram - by the sparse-data prior:
+// descending zero count, so 0x00 outranks everything and dense bytes rank
+// last. Shared by OptMem and VLWC so their w=4/k=9 instances assign
+// identically (pinned by TestVLWCWeight4MatchesOptMem).
+func byteOrderByFrequency(freq *[256]uint64) [256]int {
+	var order [256]int
+	for i := range order {
+		order[i] = i
+	}
+	empty := true
+	if freq != nil {
+		for _, f := range freq {
+			if f != 0 {
+				empty = false
+				break
+			}
+		}
+	}
+	if empty {
+		sort.SliceStable(order[:], func(i, j int) bool {
+			return zeros8(byte(order[i])) > zeros8(byte(order[j]))
+		})
+		return order
+	}
+	sort.SliceStable(order[:], func(i, j int) bool {
+		return freq[order[i]] > freq[order[j]]
+	})
+	return order
+}
+
+// NewOptMem builds the optimal memoryless (8,9) code for the byte-pattern
+// histogram freq (nil or all-zero selects the sparse-data prior). The
+// instance is immutable after construction and safe to share.
+func NewOptMem(freq *[256]uint64) *OptMem {
+	// The 256 cheapest 9-bit words, by ascending zero count (ties by value
+	// for determinism): exactly the words with popcount >= 5.
+	words := make([]uint16, 0, 256)
+	for ones := optMemWordBits; ones >= 5; ones-- {
+		for w := uint16(0); w < 1<<optMemWordBits; w++ {
+			if bits.OnesCount16(w) == ones {
+				words = append(words, w)
+			}
+		}
+	}
+	c := &OptMem{}
+	for i := range c.dec {
+		c.dec[i] = -1
+	}
+	order := byteOrderByFrequency(freq)
+	for rank, b := range order {
+		w := words[rank]
+		c.enc[b] = w
+		c.cost[b] = uint8(optMemWordBits - bits.OnesCount16(w))
+		c.dec[w] = int16(b)
+	}
+	return c
+}
+
+// defaultOptMem is the shared sparse-prior instance ByName hands out.
+var defaultOptMem = NewOptMem(nil)
+
+// DefaultOptMem returns the shared instance built with the sparse-data
+// prior (the registry configuration).
+func DefaultOptMem() *OptMem { return defaultOptMem }
+
+// Name implements Codec.
+func (*OptMem) Name() string { return "optmem" }
+
+// Beats implements Codec.
+func (*OptMem) Beats() int { return 8 }
+
+// ExtraLatency implements Codec: the table lookup sits in the pin mux like
+// DBI's inversion, adding no CAS cycles.
+func (*OptMem) ExtraLatency() int { return 0 }
+
+// EncodeByte returns the 9-bit codeword for b.
+func (c *OptMem) EncodeByte(b byte) uint16 { return c.enc[b] }
+
+// DecodeWord returns the byte a 9-bit codeword stands for, and whether the
+// word is inside the code at all (half the word space is not, which is
+// what makes corruption detectable).
+func (c *OptMem) DecodeWord(w uint16) (byte, bool) {
+	b := c.dec[w&0x1ff]
+	return byte(b), b >= 0
+}
+
+// Encode implements Codec.
+func (c *OptMem) Encode(blk *bitblock.Block) *bitblock.Burst {
+	bu := bitblock.NewBurst(BusWidth, 8)
+	c.EncodeInto(blk, bu)
+	return bu
+}
+
+// EncodeInto implements BurstEncoder: like DBI, each chip's 9-bit group for
+// beat b is the codeword of the byte it transmits during that beat.
+func (c *OptMem) EncodeInto(blk *bitblock.Block, bu *bitblock.Burst) {
+	bu.Reset(BusWidth, 8)
+	for beat := 0; beat < 8; beat++ {
+		var lo, hi uint64
+		for ch := 0; ch < bitblock.Chips; ch++ {
+			orBeatBits(&lo, &hi, chipDataPin(ch, 0), uint64(c.enc[blk[beat*bitblock.Chips+ch]]), PinsPerChip)
+		}
+		bu.SetBeatWords(beat, lo, hi)
+	}
+}
+
+// CostZeros implements ZeroCoster: 64 table lookups.
+func (c *OptMem) CostZeros(blk *bitblock.Block) int {
+	z := 0
+	for _, b := range blk {
+		z += int(c.cost[b])
+	}
+	return z
+}
+
+// Decode implements Codec. Only half of the 512 nine-bit words are in the
+// code, so random corruption of a group is detected with probability 1/2
+// per flip pattern - strictly better than DBI, which accepts every group.
+func (c *OptMem) Decode(bu *bitblock.Burst) (bitblock.Block, error) {
+	var blk bitblock.Block
+	if err := checkDims("optmem", bu, 8); err != nil {
+		return blk, err
+	}
+	if err := checkDriven("optmem", bu, true); err != nil {
+		return blk, err
+	}
+	for beat := 0; beat < 8; beat++ {
+		for ch := 0; ch < bitblock.Chips; ch++ {
+			w := uint16(bu.BeatBits(beat, chipDataPin(ch, 0), PinsPerChip))
+			b := c.dec[w]
+			if b < 0 {
+				return blk, fmt.Errorf("code: optmem chip %d beat %d: word %#03x outside the code", ch, beat, w)
+			}
+			blk[beat*bitblock.Chips+ch] = byte(b)
+		}
+	}
+	return blk, nil
+}

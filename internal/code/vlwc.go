@@ -1,0 +1,249 @@
+package code
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mil/internal/bitblock"
+)
+
+// VLWC is a practical low-weight code in the style of Valentini and Chiani
+// (arXiv 2303.06409): each data byte is mapped to the cheapest available
+// k-bit codeword whose transmitted zero count never exceeds a configured
+// weight bound w, and - unlike the table-driven StaticLWC of the Figure 7
+// potential study - the mapping is computed arithmetically by enumerative
+// (combinadic) coding, the trick that makes wide low-weight codes
+// implementable: rank <-> codeword conversion is a handful of binomial-
+// coefficient additions instead of a 2^k lookup.
+//
+// The width k is the smallest that fits all 256 byte values under the
+// bound, sum_{i<=w} C(k,i) >= 256:
+//
+//	w=2 -> k=23   w=3 -> k=12 (the registry default)   w=4 -> k=9   w=8 -> k=8
+//
+// Each chip serializes its 8 codewords over its 8 data pins (DBI pins
+// parked), padded high to an even beat count, so the default w=3 code is a
+// BL12 burst - the Figure 20 intermediate length - with a hard 3-zeros-
+// per-byte guarantee that MiLC's opportunistic coding cannot give.
+// Codewords are assigned most-frequent-byte-first exactly like OptMem
+// (sparse prior by default), so the w=4 instance reproduces the optimal
+// memoryless (8,9) assignment arithmetically - pinned by the referee
+// tests against the brute-force optimal-scheme reference.
+//
+// Timing: k beats rounded up to even, plus one CAS cycle for the
+// enumerative encoder pipeline (MiLC-class, Table 4).
+type VLWC struct {
+	w     int // weight bound: max zeros any codeword transmits
+	k     int // codeword width in bits
+	beats int // burst length: k rounded up to even
+	pad   int // per-lane pad bits driven high
+
+	enc    [256]uint32 // byte -> k-bit codeword
+	cost   [256]uint8  // byte -> zeros its codeword transmits
+	byteOf [256]uint8  // codeword rank -> byte (decode side)
+	cum    [10]int     // cum[z] = number of codewords with fewer than z zeros
+}
+
+// vlwcMaxWidth bounds k so a lane (8 codewords + pad) fits the 192-bit
+// laneCW and the binomial table.
+const vlwcMaxWidth = 24
+
+// vlwcBinom[n][r] = C(n,r) for n <= 24, r <= 9: an init-time constant
+// Pascal triangle sized for the widest code (w=2, k=23).
+var vlwcBinom = func() [vlwcMaxWidth + 1][10]uint32 {
+	var t [vlwcMaxWidth + 1][10]uint32
+	for n := 0; n <= vlwcMaxWidth; n++ {
+		t[n][0] = 1
+		for r := 1; r <= 9 && r <= n; r++ {
+			t[n][r] = t[n-1][r-1] + t[n-1][r]
+		}
+	}
+	return t
+}()
+
+// vlwcWidthFor returns the smallest codeword width fitting 256 values
+// under weight bound w.
+func vlwcWidthFor(w int) int {
+	for k := 8; k <= vlwcMaxWidth; k++ {
+		total := 0
+		for i := 0; i <= w && i <= k; i++ {
+			total += int(vlwcBinom[k][i])
+		}
+		if total >= 256 {
+			return k
+		}
+	}
+	return -1
+}
+
+// NewVLWC builds the weight-bounded code for w in [2,8] and the byte
+// histogram freq (nil or all-zero selects the sparse-data prior). The
+// instance is immutable after construction and safe to share.
+func NewVLWC(w int, freq *[256]uint64) (*VLWC, error) {
+	if w < 2 || w > 8 {
+		return nil, fmt.Errorf("code: vlwc weight bound %d outside [2,8]", w)
+	}
+	k := vlwcWidthFor(w)
+	if k < 0 {
+		return nil, fmt.Errorf("code: no width fits vlwc weight bound %d", w)
+	}
+	c := &VLWC{w: w, k: k, beats: k + k%2}
+	c.pad = (c.beats - k) * DataPinsPerChip
+	for z := 1; z < len(c.cum); z++ {
+		c.cum[z] = c.cum[z-1]
+		if z-1 <= w {
+			c.cum[z] += int(vlwcBinom[k][z-1])
+		}
+	}
+	order := byteOrderByFrequency(freq)
+	for rank, b := range order {
+		word := c.wordOfRank(rank)
+		c.enc[b] = word
+		c.cost[b] = uint8(k - bits.OnesCount32(word))
+		c.byteOf[rank] = byte(b)
+	}
+	return c, nil
+}
+
+// defaultVLWC is the shared sparse-prior w=3 instance ByName hands out.
+var defaultVLWC = func() *VLWC {
+	c, err := NewVLWC(3, nil)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}()
+
+// DefaultVLWC returns the shared w=3 instance (the registry default).
+func DefaultVLWC() *VLWC { return defaultVLWC }
+
+// wordOfRank is the enumerative encoder: rank r selects zero count z (the
+// tier the rank falls in) and combination index j within the tier, and the
+// j-th z-subset of pin positions (colexicographic combinadic) carries the
+// zeros. Rank 0 is the all-ones word.
+func (c *VLWC) wordOfRank(r int) uint32 {
+	z := 0
+	for z+1 < len(c.cum) && c.cum[z+1] <= r {
+		z++
+	}
+	j := uint32(r - c.cum[z])
+	word := uint32(1<<c.k) - 1
+	for i := z; i >= 1; i-- {
+		p := i - 1
+		for p+1 <= vlwcMaxWidth && vlwcBinom[p+1][i] <= j {
+			p++
+		}
+		word &^= 1 << p
+		j -= vlwcBinom[p][i]
+	}
+	return word
+}
+
+// rankOfWord inverts wordOfRank: the zero positions p_1 < ... < p_z rank
+// as cum[z] + sum_i C(p_i, i). Words over the weight bound report an
+// error; in-width words under the bound always rank, but ranks past 255
+// are outside the code (the caller rejects them).
+func (c *VLWC) rankOfWord(word uint32) (int, error) {
+	zeros := ^word & (1<<c.k - 1)
+	z := bits.OnesCount32(zeros)
+	if z > c.w {
+		return 0, fmt.Errorf("code: vlwc%d word weight %d over the bound", c.w, z)
+	}
+	r := c.cum[z]
+	for i := 1; zeros != 0; i++ {
+		p := bits.TrailingZeros32(zeros)
+		zeros &= zeros - 1
+		r += int(vlwcBinom[p][i])
+	}
+	return r, nil
+}
+
+// Name implements Codec: the registry default w=3 is plain "vlwc", other
+// bounds carry theirs ("vlwc2", "vlwc4", ...).
+func (c *VLWC) Name() string {
+	if c.w == 3 {
+		return "vlwc"
+	}
+	return fmt.Sprintf("vlwc%d", c.w)
+}
+
+// Beats implements Codec.
+func (c *VLWC) Beats() int { return c.beats }
+
+// ExtraLatency implements Codec: one CAS cycle for the enumerative
+// pipeline, like MiLC.
+func (*VLWC) ExtraLatency() int { return 1 }
+
+// WeightBound returns w, the most zeros any codeword transmits.
+func (c *VLWC) WeightBound() int { return c.w }
+
+// K returns the codeword width in bits.
+func (c *VLWC) K() int { return c.k }
+
+// EncodeByte returns the k-bit codeword for b.
+func (c *VLWC) EncodeByte(b byte) uint32 { return c.enc[b] }
+
+// Encode implements Codec.
+func (c *VLWC) Encode(blk *bitblock.Block) *bitblock.Burst {
+	bu := bitblock.NewBurst(BusWidth, c.beats)
+	c.EncodeInto(blk, bu)
+	return bu
+}
+
+// EncodeInto implements BurstEncoder: each chip's 8 codewords stream over
+// its 8 data pins with the pad bits high (free on a POD interface) and the
+// DBI pins parked.
+func (c *VLWC) EncodeInto(blk *bitblock.Block, bu *bitblock.Burst) {
+	bu.Reset(BusWidth, c.beats)
+	parkDBIPins(bu)
+	var cws [bitblock.Chips]laneCW
+	for ch := range cws {
+		for b := 0; b < 8; b++ {
+			cws[ch].append(uint64(c.enc[blk[b*bitblock.Chips+ch]]), c.k)
+		}
+		if c.pad > 0 {
+			cws[ch].append(1<<c.pad-1, c.pad)
+		}
+	}
+	storeLaneCodewords(bu, &cws, c.beats, DataPinsPerChip)
+}
+
+// CostZeros implements ZeroCoster: 64 table lookups; the pad bits are high
+// and cost nothing.
+func (c *VLWC) CostZeros(blk *bitblock.Block) int {
+	z := 0
+	for _, b := range blk {
+		z += int(c.cost[b])
+	}
+	return z
+}
+
+// Decode implements Codec, running the arithmetic decoder: each word's
+// zero positions rank back to a codeword index. Words over the weight
+// bound or ranking past the 256 assigned codewords are outside the code
+// and report corruption.
+func (c *VLWC) Decode(bu *bitblock.Burst) (bitblock.Block, error) {
+	var blk bitblock.Block
+	if err := checkDims(c.Name(), bu, c.beats); err != nil {
+		return blk, err
+	}
+	if err := checkDriven(c.Name(), bu, false); err != nil {
+		return blk, err
+	}
+	var cws [bitblock.Chips]laneCW
+	loadLaneCodewords(bu, &cws, c.beats, DataPinsPerChip)
+	for ch := range cws {
+		for b := 0; b < 8; b++ {
+			word := uint32(cws[ch].uint64(b*c.k, c.k))
+			rank, err := c.rankOfWord(word)
+			if err != nil {
+				return blk, fmt.Errorf("code: chip %d byte %d: %w", ch, b, err)
+			}
+			if rank >= 256 {
+				return blk, fmt.Errorf("code: vlwc%d chip %d byte %d: rank %d outside the code", c.w, ch, b, rank)
+			}
+			blk[b*bitblock.Chips+ch] = c.byteOf[rank]
+		}
+	}
+	return blk, nil
+}

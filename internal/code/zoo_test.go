@@ -1,0 +1,390 @@
+package code
+
+import (
+	"math/bits"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mil/internal/bitblock"
+	"mil/internal/fault"
+)
+
+// This file referees the codec zoo from the related literature: OptMem
+// against the closed-form optimal packing, VLWC's enumerative coder
+// against the brute-force optimal-scheme reference (the arXiv 2303.06409
+// construction: sort every k-bit word by zero count, keep the best 256),
+// and ZAD's skip-transfer against the fault injector - skipped chunks must
+// be corruption-immune, with only the mask sideband exposed.
+
+// refLowWeightWords is the optimal-scheme reference: all 2^k words by
+// ascending zero count (ties by value), truncated to the 256 the code
+// assigns. Exponential in k - usable for k <= 12 in tests only.
+func refLowWeightWords(t *testing.T, k int) []uint32 {
+	t.Helper()
+	if k > 12 {
+		t.Fatalf("reference enumeration of 2^%d words is a test bug", k)
+	}
+	words := make([]uint32, 1<<k)
+	for w := range words {
+		words[w] = uint32(w)
+	}
+	sort.SliceStable(words, func(i, j int) bool {
+		zi := k - bits.OnesCount32(words[i])
+		zj := k - bits.OnesCount32(words[j])
+		if zi != zj {
+			return zi < zj
+		}
+		return words[i] < words[j]
+	})
+	return words[:256]
+}
+
+func TestOptMemCodeIsOptimalPacking(t *testing.T) {
+	c := DefaultOptMem()
+	ref := refLowWeightWords(t, 9)
+	seen := map[uint16]bool{}
+	refSet := map[uint32]bool{}
+	for _, w := range ref {
+		refSet[w] = true
+	}
+	for b := 0; b < 256; b++ {
+		w := c.EncodeByte(byte(b))
+		if seen[w] {
+			t.Fatalf("codeword %#03x assigned twice", w)
+		}
+		seen[w] = true
+		if !refSet[uint32(w)] {
+			t.Errorf("byte %#02x got word %#03x outside the optimal 256", b, w)
+		}
+		if z := optMemWordBits - bits.OnesCount16(w); z > 4 {
+			t.Errorf("byte %#02x word %#03x carries %d zeros, packing bound is 4", b, w, z)
+		}
+		got, ok := c.DecodeWord(w)
+		if !ok || got != byte(b) {
+			t.Errorf("DecodeWord(EncodeByte(%#02x)) = %#02x, %v", b, got, ok)
+		}
+	}
+	// Sparse prior: the all-zero byte gets the free all-ones codeword -
+	// one zero cheaper than under DBI, which pays for its flag bit.
+	if w := c.EncodeByte(0); w != 0x1ff {
+		t.Errorf("byte 0x00 word = %#03x, want the all-ones 0x1ff", w)
+	}
+	// Words outside the code must be rejected.
+	for w := 0; w < 512; w++ {
+		_, ok := c.DecodeWord(uint16(w))
+		if inCode := bits.OnesCount16(uint16(w)) >= 5; ok != inCode {
+			t.Fatalf("DecodeWord(%#03x) ok=%v, want %v", w, ok, inCode)
+		}
+	}
+}
+
+func TestOptMemFrequencyAssignment(t *testing.T) {
+	var freq [256]uint64
+	freq[0xa5] = 1000
+	freq[0x17] = 10
+	c := NewOptMem(&freq)
+	if w := c.EncodeByte(0xa5); w != 0x1ff {
+		t.Errorf("most frequent byte got word %#03x, want the zero-cost 0x1ff", w)
+	}
+	if z := optMemWordBits - bits.OnesCount16(c.EncodeByte(0x17)); z != 1 {
+		t.Errorf("second byte's word carries %d zeros, want the next tier's 1", z)
+	}
+	var blk bitblock.Block
+	if out, err := c.Decode(c.Encode(&blk)); err != nil || out != blk {
+		t.Errorf("frequency-ranked instance does not round-trip: %v", err)
+	}
+}
+
+func TestVLWCWidths(t *testing.T) {
+	want := map[int]struct{ k, beats int }{
+		2: {23, 24}, 3: {12, 12}, 4: {9, 10}, 8: {8, 8},
+	}
+	for w, dims := range want {
+		c, err := NewVLWC(w, nil)
+		if err != nil {
+			t.Fatalf("NewVLWC(%d): %v", w, err)
+		}
+		if c.K() != dims.k || c.Beats() != dims.beats {
+			t.Errorf("w=%d: k=%d beats=%d, want k=%d beats=%d", w, c.K(), c.Beats(), dims.k, dims.beats)
+		}
+	}
+	for _, w := range []int{0, 1, 9} {
+		if _, err := NewVLWC(w, nil); err == nil {
+			t.Errorf("NewVLWC(%d) accepted an out-of-range weight bound", w)
+		}
+	}
+}
+
+// TestVLWCAgainstOptimalReference pins the enumerative coder to the
+// brute-force optimal scheme: same per-rank zero profile (so the total
+// transmitted zeros under any frequency ranking match the optimum), a
+// bijective byte assignment, and an exact arithmetic inverse.
+func TestVLWCAgainstOptimalReference(t *testing.T) {
+	for _, w := range []int{3, 4} {
+		c, err := NewVLWC(w, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := refLowWeightWords(t, c.K())
+		seen := map[uint32]bool{}
+		for rank := 0; rank < 256; rank++ {
+			word := c.wordOfRank(rank)
+			if seen[word] {
+				t.Fatalf("w=%d: word %#x assigned twice", w, word)
+			}
+			seen[word] = true
+			zGot := c.K() - bits.OnesCount32(word)
+			zRef := c.K() - bits.OnesCount32(ref[rank])
+			if zGot != zRef {
+				t.Fatalf("w=%d rank %d: %d zeros, optimal reference has %d", w, rank, zGot, zRef)
+			}
+			back, err := c.rankOfWord(word)
+			if err != nil || back != rank {
+				t.Fatalf("w=%d: rankOfWord(wordOfRank(%d)) = %d, %v", w, rank, back, err)
+			}
+		}
+		// Every over-bound or out-of-code word must be rejected.
+		for word := uint32(0); word < 1<<c.K(); word++ {
+			rank, err := c.rankOfWord(word)
+			if z := c.K() - bits.OnesCount32(word); z > c.WeightBound() {
+				if err == nil {
+					t.Fatalf("w=%d: word %#x (%d zeros) ranked despite the bound", w, word, z)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("w=%d: in-bound word %#x rejected: %v", w, word, err)
+			}
+			if (rank < 256) != seen[word] {
+				t.Fatalf("w=%d: word %#x rank %d disagrees with assignment", w, word, rank)
+			}
+		}
+	}
+}
+
+// TestVLWCWeight4MatchesOptMem: at w=4 the fitting width is k=9, the
+// OptMem geometry, and with the shared frequency ranking the arithmetic
+// coder must reproduce the optimal memoryless code's per-byte cost
+// exactly.
+func TestVLWCWeight4MatchesOptMem(t *testing.T) {
+	v, err := NewVLWC(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptMem()
+	for b := 0; b < 256; b++ {
+		zv := v.K() - bits.OnesCount32(v.EncodeByte(byte(b)))
+		zo := optMemWordBits - bits.OnesCount16(o.EncodeByte(byte(b)))
+		if zv != zo {
+			t.Errorf("byte %#02x: vlwc4 pays %d zeros, optmem %d", b, zv, zo)
+		}
+	}
+}
+
+func TestVLWCRoundTripAllBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, w := range []int{2, 3, 4, 5, 8} {
+		c, err := NewVLWC(w, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < 200; n++ {
+			blk := skewedBlock(rng)
+			out, err := c.Decode(c.Encode(&blk))
+			if err != nil || out != blk {
+				t.Fatalf("w=%d block %d: round-trip failed (%v)", w, n, err)
+			}
+		}
+	}
+}
+
+// zadTestBlock fills every chip with the pattern byte but zeroes chip
+// zeroChip entirely, so each granularity has fully skipped chunks there.
+func zadTestBlock(zeroChip int, pattern byte) bitblock.Block {
+	var blk bitblock.Block
+	for beat := 0; beat < 8; beat++ {
+		for ch := 0; ch < bitblock.Chips; ch++ {
+			if ch != zeroChip {
+				blk[beat*bitblock.Chips+ch] = pattern
+			}
+		}
+	}
+	return blk
+}
+
+// TestZADSkippedChunksAreCorruptionImmune flips every data bit of a
+// skipped chunk's elided beats: the decoder must not read them, so the
+// block comes back bit-identical with no error, in both mask modes and
+// at every granularity.
+func TestZADSkippedChunksAreCorruptionImmune(t *testing.T) {
+	for _, g := range []int{1, 2, 4, 8} {
+		for _, resilient := range []bool{false, true} {
+			z, err := NewZAD(g, resilient)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blk := zadTestBlock(3, 0xb7)
+			bu := z.Encode(&blk)
+			for beat := 0; beat < 8; beat++ { // chip 3 is entirely skipped
+				for pin := 0; pin < DataPinsPerChip; pin++ {
+					bu.SetBit(beat, chipDataPin(3, pin), !bu.Bit(beat, chipDataPin(3, pin)))
+				}
+			}
+			got, err := z.Decode(bu)
+			if err != nil {
+				t.Fatalf("%s: decode errored on skipped-chunk corruption: %v", z.Name(), err)
+			}
+			if got != blk {
+				t.Fatalf("%s: skipped-chunk corruption leaked into the data", z.Name())
+			}
+		}
+	}
+}
+
+// TestZADMaskSidebandExposure pins the documented trade: plain mode's
+// single mask bit converts silently under one flip, resilient mode
+// outvotes a minority of flips and detects an exact tie.
+func TestZADMaskSidebandExposure(t *testing.T) {
+	blk := zadTestBlock(5, 0x6c)
+
+	plain, _ := NewZAD(4, false)
+	bu := plain.Encode(&blk)
+	bu.SetBit(0, chipDBIPin(5), true) // skipped -> "present": reads elided beats
+	got, err := plain.Decode(bu)
+	if err != nil {
+		t.Fatalf("plain: mask flip reported an error; the single bit has no redundancy to detect with: %v", err)
+	}
+	if got == blk {
+		t.Fatal("plain: mask flip did not corrupt - the exposure this mode documents")
+	}
+
+	res, _ := NewZAD(4, true)
+	bu = res.Encode(&blk)
+	bu.SetBit(1, chipDBIPin(5), true) // one of four copies: outvoted
+	if got, err := res.Decode(bu); err != nil || got != blk {
+		t.Fatalf("resilient: minority mask flip not outvoted (err %v)", err)
+	}
+	bu.SetBit(2, chipDBIPin(5), true) // two of four: an undecidable tie
+	if _, err := res.Decode(bu); err == nil {
+		t.Fatal("resilient: split mask vote decoded silently, want a detection error")
+	}
+}
+
+// cloneBurst deep-copies a burst so the fault differential can diff the
+// corrupted wires against the pristine transfer.
+func cloneBurst(bu *bitblock.Burst) *bitblock.Burst {
+	cp := bitblock.NewBurst(bu.Width, bu.Beats)
+	for p := 0; p < bu.Width; p++ {
+		cp.SetDriven(p, bu.Driven(p))
+	}
+	for b := 0; b < bu.Beats; b++ {
+		lo, hi := bu.BeatWords(b)
+		cp.SetBeatWords(b, lo, hi)
+	}
+	return cp
+}
+
+// TestZADFaultInjectorDifferential drives the PR-1 injector over a zero-
+// heavy transfer: whenever every injected flip lands inside skipped
+// chunks' elided beats, the decode must be exact - the skip-transfer
+// immunity claim, proved against the same corruption stream the fault
+// experiments use rather than hand-placed flips.
+func TestZADFaultInjectorDifferential(t *testing.T) {
+	z, err := NewZAD(8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chips 1..7 all zero (fully skipped); chip 0 carries data.
+	var blk bitblock.Block
+	for beat := 0; beat < 8; beat++ {
+		blk[beat*bitblock.Chips] = byte(0x91 + beat)
+	}
+	pristine := z.Encode(&blk)
+
+	elided := func(beat, pin int) bool {
+		ch := pin / PinsPerChip
+		return ch >= 1 && pin != chipDBIPin(ch)
+	}
+	immune, corrupted := 0, 0
+	for seed := uint64(0); seed < 200; seed++ {
+		inj := fault.MustNew(fault.Config{BER: 2e-3, Seed: seed})
+		bu := cloneBurst(pristine)
+		if inj.Corrupt(bu) == 0 {
+			continue
+		}
+		allElided := true
+		for beat := 0; beat < bu.Beats; beat++ {
+			for pin := 0; pin < bu.Width; pin++ {
+				if bu.Bit(beat, pin) != pristine.Bit(beat, pin) && !elided(beat, pin) {
+					allElided = false
+				}
+			}
+		}
+		got, err := z.Decode(bu)
+		if allElided {
+			immune++
+			if err != nil || got != blk {
+				t.Fatalf("seed %d: flips confined to elided beats corrupted the decode (%v)", seed, err)
+			}
+		} else if err == nil && got != blk {
+			corrupted++ // exposed surface hit: legal, the retry ladder's problem
+		}
+	}
+	if immune == 0 {
+		t.Fatal("no corruption run landed entirely in elided beats; differential never exercised")
+	}
+}
+
+// TestZADCostAccounting pins the energy model's absolute numbers: an
+// all-zero block costs one transmitted zero per chunk in plain mode and g
+// per chunk in resilient mode, nothing else.
+func TestZADCostAccounting(t *testing.T) {
+	var zero bitblock.Block
+	for _, tc := range []struct {
+		g         int
+		resilient bool
+		want      int
+	}{
+		{1, false, 64}, {2, false, 32}, {4, false, 16}, {8, false, 8},
+		{1, true, 64}, {2, true, 64}, {4, true, 64}, {8, true, 64},
+	} {
+		z, err := NewZAD(tc.g, tc.resilient)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := z.Encode(&zero).CountZeros(); got != tc.want {
+			t.Errorf("%s: all-zero block costs %d zeros, want %d", z.Name(), got, tc.want)
+		}
+	}
+	// An all-ones block skips nothing and transmits no zeros at all.
+	var ones bitblock.Block
+	for i := range ones {
+		ones[i] = 0xff
+	}
+	z, _ := NewZAD(4, false)
+	if got := z.Encode(&ones).CountZeros(); got != 0 {
+		t.Errorf("all-ones block costs %d zeros, want 0", got)
+	}
+}
+
+// TestDecodeRejectsForeignDrivenMask is the satellite audit's pin: a burst
+// with the right shape but another scheme's driven mask (raw parks the
+// DBI pins, dbi drives them) must be rejected, not silently misread.
+func TestDecodeRejectsForeignDrivenMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	blk := skewedBlock(rng)
+	if _, err := (DBI{}).Decode(Raw{}.Encode(&blk)); err == nil {
+		t.Error("dbi decoded a raw burst (parked DBI pins) without error")
+	}
+	if _, err := (Raw{}).Decode(DBI{}.Encode(&blk)); err == nil {
+		t.Error("raw decoded a dbi burst (driven DBI pins) without error")
+	}
+	if _, err := DefaultOptMem().Decode(Raw{}.Encode(&blk)); err == nil {
+		t.Error("optmem decoded a raw burst without error")
+	}
+	z, _ := NewZAD(4, false)
+	if _, err := z.Decode(MiLC{}.Encode(&blk)); err == nil {
+		t.Error("zad decoded a 10-beat milc burst without error")
+	}
+}

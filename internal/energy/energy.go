@@ -120,6 +120,21 @@ func codecCostsFor(name string) (CodecCosts, bool) {
 	if len(name) >= 4 && name[:4] == "milc" { // stretched variants
 		return Table4["milc"], true
 	}
+	switch {
+	case name == "optmem", len(name) >= 4 && name[:4] == "vlwc":
+		// The literature codecs are table lookups (optmem) or a short
+		// enumerative pipeline (vlwc): comparable logic depth to the 3-LWC
+		// mapper, so they borrow its synthesized block. Deliberately NOT
+		// entries in Table4 itself, which reproduces the paper's table
+		// verbatim (and feeds the table-4.md golden).
+		return Table4["lwc3"], true
+	case len(name) >= 3 && name[:3] == "zad":
+		// ZAD's encoder is an 8-input NOR per chunk and its decoder a mask
+		// mux: well under a tenth of the 3-LWC mapper. Round the same way
+		// the DBI baseline does - the codec energy term stays zero rather
+		// than inventing an unsynthesized number.
+		return CodecCosts{}, false
+	}
 	if name == "hybrid" {
 		// Half a MiLC lane plus half a 3-LWC lane per chip.
 		m, l := Table4["milc"], Table4["lwc3"]

@@ -41,6 +41,7 @@ func Generators() []Generator {
 		{"Extension 5", func(r *Runner) (*Table, error) { return r.FaultSweep() }},
 		{"Extension 6", func(r *Runner) (*Table, error) { return r.Extension6() }},
 		{"Extension 7", func(r *Runner) (*Table, error) { return r.Extension7() }},
+		{"Extension 8", func(r *Runner) (*Table, error) { return r.Extension8() }},
 	}
 }
 

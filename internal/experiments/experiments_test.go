@@ -18,7 +18,7 @@ func TestGeneratorsCoverEveryTableAndFigure(t *testing.T) {
 		"Figure 17(a)", "Figure 17(b)", "Figure 18(a)", "Figure 18(b)",
 		"Figure 19(a)", "Figure 19(b)", "Figure 20", "Figure 21", "Figure 22",
 		"Extension 1", "Extension 2", "Extension 3", "Extension 4",
-		"Extension 5", "Extension 6", "Extension 7",
+		"Extension 5", "Extension 6", "Extension 7", "Extension 8",
 	}
 	gens := Generators()
 	if len(gens) != len(want) {

@@ -260,6 +260,70 @@ func (r *Runner) Extension7() (*Table, error) {
 	return t, nil
 }
 
+// Extension8 races the codec zoo from the related literature - optmem
+// (Chee/Colbourn optimal memoryless on the widened 9-pin bus), vlwc
+// (Valentini/Chiani practical LWC at weight bound 3) and zad (zero-aware
+// skip-transfer) - against the paper's own contenders (MiLC, CAFO-2, the
+// full MiL framework) plus the zoo bandit that may play any of them. One
+// arena, both axes: transmitted-zero cost vs DBI, and the execution-time
+// price of each zoo codec's burst length and extra CAS latency.
+func (r *Runner) Extension8() (*Table, error) {
+	zoo := []string{"optmem", "vlwc", "zad"}
+	all := append(append([]string{}, zoo...), "mil-bandit-zoo", "milc", "cafo2", "mil")
+	r.prefetchSuite(sim.Server, all...)
+	names, err := r.suiteSorted(sim.Server)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "Extension 8",
+		Title: "Codec zoo: optmem / vlwc / zad vs MiLC, CAFO-2 and MiL (DDR4)",
+		Note: "Zeros are IO cost ratios vs the DBI baseline, time the zoo codecs' " +
+			"execution-time ratios. optmem and zad ride the BL8 schedule (free " +
+			"occupancy, data-dependent wins); vlwc pays BL12+1 CAS for its hard " +
+			"weight bound. Codec hardware is lwc3-class for optmem/vlwc and " +
+			"round-to-zero for zad's NOR logic (see energy.codecCostsFor).",
+		Header: []string{"benchmark (by bus util)", "optmem zeros", "vlwc zeros",
+			"zad zeros", "zoo-bandit zeros", "milc zeros", "cafo2 zeros", "mil zeros",
+			"optmem time", "vlwc time", "zad time"},
+	}
+	gm := make(map[string][]float64)
+	for _, n := range names {
+		base, err := r.get(sim.Server, "baseline", n, 0)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{n}
+		var times []string
+		for _, s := range all {
+			res, err := r.get(sim.Server, s, n, 0)
+			if err != nil {
+				return nil, err
+			}
+			z := float64(res.Mem.CostUnits) / float64(base.Mem.CostUnits)
+			row = append(row, f3(z))
+			gm["z:"+s] = append(gm["z:"+s], z)
+			for _, zs := range zoo {
+				if s == zs {
+					tr := float64(res.CPUCycles) / float64(base.CPUCycles)
+					times = append(times, f3(tr))
+					gm["t:"+s] = append(gm["t:"+s], tr)
+				}
+			}
+		}
+		t.Rows = append(t.Rows, append(row, times...))
+	}
+	last := []string{"GEOMEAN"}
+	for _, s := range all {
+		last = append(last, f3(geomean(gm["z:"+s])))
+	}
+	for _, s := range zoo {
+		last = append(last, f3(geomean(gm["t:"+s])))
+	}
+	t.Rows = append(t.Rows, last)
+	return t, nil
+}
+
 // Extension6 pins the idle-heavy regime the event-driven core is built
 // for: the suite's least bus-bound benchmark under rank power-down, where
 // most of the timeline is empty-queue idling between refreshes and

@@ -177,4 +177,56 @@ func init() {
 			return milcore.NewBandit(o.Seed)
 		},
 	})
+	optmemPolicy, optmemCodec := fixedCodec(func() (code.Codec, error) { return code.DefaultOptMem(), nil })
+	register(&Descriptor{
+		Name: "optmem",
+		Help: "Chee/Colbourn optimal memoryless code on the widened 9-pin bus (BL8)",
+		// Same BL8+0 schedule as the other fixed-8 schemes: the timing
+		// stream is indistinguishable, so the trace cluster may adopt it.
+		SharedClass: "fixed8",
+		Policy:      optmemPolicy,
+		Codec:       optmemCodec,
+	})
+	vlwcPolicy, vlwcCodec := fixedCodec(func() (code.Codec, error) { return code.DefaultVLWC(), nil })
+	register(&Descriptor{
+		Name: "vlwc",
+		Help: "Valentini/Chiani practical LWC, weight bound 3 (BL12, +1 CAS cycle)",
+		// BL12+1 matches the stretched bl12 scheme's schedule, but vlwc
+		// stays a singleton class: bl12 predates it in the keys golden and
+		// the cluster index already merges identical schedules dynamically.
+		Policy: vlwcPolicy,
+		Codec:  vlwcCodec,
+	})
+	zadPolicy, zadCodec := fixedCodec(func() (code.Codec, error) { return code.NewZAD(4, false) })
+	register(&Descriptor{
+		Name:        "zad",
+		Help:        "zero-aware skip-transfer, 4-beat chunks elided via the DBI sideband (BL8)",
+		SharedClass: "fixed8",
+		Policy:      zadPolicy,
+		Codec:       zadCodec,
+	})
+	zadrPolicy, zadrCodec := fixedCodec(func() (code.Codec, error) { return code.NewZAD(4, true) })
+	register(&Descriptor{
+		Name:        "zadr",
+		Help:        "zad with the skip mask replicated per beat and majority-voted (fault mode)",
+		SharedClass: "fixed8",
+		Policy:      zadrPolicy,
+		Codec:       zadrCodec,
+	})
+	register(&Descriptor{
+		Name: "mil-bandit-zoo",
+		Help: "the bandit with the literature codecs as extra arms (optmem/vlwc/zad)",
+		// A separate scheme rather than new arms on mil-bandit: changing
+		// the default arm set would shift every mil-bandit trajectory and
+		// the Extension 7 golden with it.
+		NeverCluster: true,
+		Policy: func(_ Platform, o Options) (memctrl.Policy, error) {
+			zad, err := code.NewZAD(4, false)
+			if err != nil {
+				return nil, err
+			}
+			return milcore.NewBandit(o.Seed, milcore.WithBanditArms(
+				code.DBI{}, code.MiLC{}, code.DefaultOptMem(), code.DefaultVLWC(), zad))
+		},
+	})
 }

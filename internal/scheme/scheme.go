@@ -258,12 +258,18 @@ func TimingClass(name string, lookaheadX int, faultEnabled bool) string {
 // scheme's Codec factory when it has one, else the plain codec registry
 // (code.ByName), so every name code.ByName accepts keeps working and the
 // registry only adds names (bl12/bl14's stretched codecs, scheme
-// aliases). Unknown names keep code.ByName's error verbatim.
+// aliases). Unknown names report ErrUnknown (wrapped), like Build, so the
+// CLIs can distinguish a typo from a real resolution failure and print
+// the annotated table instead of a bare error string.
 func Codec(name string) (code.Codec, error) {
 	if d, ok := byName[name]; ok && d.Codec != nil {
 		return d.Codec()
 	}
-	return code.ByName(name)
+	c, err := code.ByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w %q: %v", ErrUnknown, name, err)
+	}
+	return c, nil
 }
 
 // CodecNames lists every name Codec resolves to a distinct standalone

@@ -179,11 +179,14 @@ func TestCodecParityWithByName(t *testing.T) {
 				want.Name(), want.Beats(), want.ExtraLatency())
 		}
 	}
-	// Unknown names keep code.ByName's error verbatim.
-	_, wantErr := code.ByName("nonesuch")
+	// Unknown names wrap ErrUnknown (so the CLIs can branch to the
+	// -list-schemes table) and still name the offender.
 	_, gotErr := Codec("nonesuch")
-	if wantErr == nil || gotErr == nil || gotErr.Error() != wantErr.Error() {
-		t.Errorf("unknown codec error = %v, code.ByName says %v", gotErr, wantErr)
+	if !errors.Is(gotErr, ErrUnknown) {
+		t.Errorf("unknown codec error = %v, want ErrUnknown wrapped", gotErr)
+	}
+	if gotErr == nil || !strings.Contains(gotErr.Error(), "nonesuch") {
+		t.Errorf("unknown codec error %v does not name the offending codec", gotErr)
 	}
 }
 
@@ -225,6 +228,48 @@ func TestWriteTableListsEverything(t *testing.T) {
 	for _, alias := range []string{"bl10", "bl16"} {
 		if !strings.Contains(out, alias) {
 			t.Errorf("WriteTable output missing alias %q", alias)
+		}
+	}
+}
+
+// TestZooSchemeRegistration pins the codec-zoo descriptors: the fixed-BL8
+// codecs share the fixed8 timing class (their schedules are bit-identical
+// to baseline's, so the trace cluster may adopt them), vlwc stays a
+// singleton despite matching bl12's schedule (bl12 predates it in the
+// keys golden), and the zoo bandit never cluster-adopts.
+func TestZooSchemeRegistration(t *testing.T) {
+	for name, want := range map[string]string{
+		"optmem": "fixed8",
+		"zad":    "fixed8",
+		"zadr":   "fixed8",
+		"vlwc":   "vlwc|x=0",
+	} {
+		if got := TimingClass(name, 0, false); got != want {
+			t.Errorf("TimingClass(%q) = %q, want %q", name, got, want)
+		}
+	}
+	d, ok := Lookup("mil-bandit-zoo")
+	if !ok {
+		t.Fatal("mil-bandit-zoo not registered")
+	}
+	if !d.NeverCluster {
+		t.Error("mil-bandit-zoo must declare NeverCluster like mil-bandit")
+	}
+	for _, name := range []string{"optmem", "vlwc", "zad", "zadr", "mil-bandit-zoo"} {
+		for _, pod := range []bool{true, false} {
+			if _, _, err := Build(name, Platform{POD: pod}, Options{}); err != nil {
+				t.Errorf("Build(%q, POD=%v): %v", name, pod, err)
+			}
+		}
+	}
+	// The standalone codec names resolve through both registries and agree.
+	for _, name := range []string{"optmem", "vlwc", "zad", "zadr"} {
+		c, err := Codec(name)
+		if err != nil {
+			t.Fatalf("Codec(%q): %v", name, err)
+		}
+		if c.Name() != name {
+			t.Errorf("Codec(%q).Name() = %q", name, c.Name())
 		}
 	}
 }

@@ -177,7 +177,9 @@ func schemeFor(name string, p platform, lookaheadX int, seed uint64) (memctrl.Po
 	pol, newPhy, err := scheme.Build(name, scheme.Platform{POD: p.pod},
 		scheme.Options{LookaheadX: lookaheadX, Seed: seed})
 	if errors.Is(err, scheme.ErrUnknown) {
-		return nil, nil, fmt.Errorf("sim: unknown scheme %q", name)
+		// Same message as before, but keep ErrUnknown reachable through
+		// the chain: the CLIs branch on it to print the scheme table.
+		return nil, nil, fmt.Errorf("sim: %w", err)
 	}
 	return pol, newPhy, err
 }

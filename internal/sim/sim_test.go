@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
+	schemereg "mil/internal/scheme"
 	"mil/internal/workload"
 )
 
@@ -41,8 +43,14 @@ func TestSchemeNamesAllRun(t *testing.T) {
 
 func TestUnknownSchemeRejected(t *testing.T) {
 	b, _ := workload.ByName("GUPS")
-	if _, err := Run(Config{System: Server, Scheme: "nope", Benchmark: b}); err == nil {
+	_, err := Run(Config{System: Server, Scheme: "nope", Benchmark: b})
+	if err == nil {
 		t.Fatal("unknown scheme accepted")
+	}
+	// The wrap must keep scheme.ErrUnknown reachable: the CLIs branch on
+	// it to print the annotated scheme table instead of a bare string.
+	if !errors.Is(err, schemereg.ErrUnknown) {
+		t.Fatalf("unknown-scheme error %v does not wrap scheme.ErrUnknown", err)
 	}
 	if _, err := Run(Config{System: Server, Scheme: "mil"}); err == nil {
 		t.Fatal("nil benchmark accepted")
